@@ -1,0 +1,85 @@
+"""A1 (ablation) — the spatial model scales awareness (§3.3.2, §4.2.1).
+
+In a large shared space (DIVE's "large unbounded space"), broadcasting
+every action to every inhabitant drowns users and the network.  The
+aura/focus/nimbus model scopes each action to the entities that would
+plausibly perceive it.
+
+Sweep the population at constant density (the space grows with the
+crowd).  For each action, count recipients under:
+
+* broadcast-all — every other entity;
+* spatial (peripheral+) — entities with any awareness of the actor;
+* spatial (full only) — mutually attending entities.
+
+Expected shape: broadcast grows linearly with population; spatial
+recipients stay roughly constant (local density decides), so the ratio
+grows without bound — the scalability argument for awareness scoping.
+"""
+
+import math
+
+from benchmarks._util import print_table, run_once
+from repro.awareness import Entity, FULL, SharedSpace
+from repro.sim import RandomStreams
+
+POPULATIONS = (10, 40, 160)
+DENSITY = 0.01            # entities per square unit
+ACTIONS_PER_ENTITY = 3
+
+
+def run_population(population):
+    rng = RandomStreams(81).stream("a1-{}".format(population))
+    side = math.sqrt(population / DENSITY)
+    space = SharedSpace("floor")
+    for i in range(population):
+        space.add(Entity("user-{}".format(i),
+                         x=rng.uniform(0, side),
+                         y=rng.uniform(0, side),
+                         aura=30.0, focus=15.0, nimbus=15.0))
+    broadcast_total = 0
+    spatial_total = 0
+    full_total = 0
+    actions = 0
+    for entity in space.entities():
+        for _ in range(ACTIONS_PER_ENTITY):
+            actions += 1
+            broadcast_total += population - 1
+            spatial_total += len(space.observers_of(entity.name))
+            full_total += len(space.observers_of(entity.name,
+                                                 minimum=FULL))
+    return {
+        "broadcast": broadcast_total / actions,
+        "spatial": spatial_total / actions,
+        "full": full_total / actions,
+    }
+
+
+def run_experiment():
+    return {population: run_population(population)
+            for population in POPULATIONS}
+
+
+def test_a1_spatial_awareness(benchmark):
+    results = run_once(benchmark, run_experiment)
+    rows = [(population, stats["broadcast"], stats["spatial"],
+             stats["full"],
+             stats["broadcast"] / max(stats["spatial"], 0.1))
+            for population, stats in results.items()]
+    print_table(
+        "A1  recipients per action at constant crowd density",
+        ["population", "broadcast-all", "spatial (peripheral+)",
+         "spatial (full)", "reduction factor"],
+        rows)
+    small = results[POPULATIONS[0]]
+    large = results[POPULATIONS[-1]]
+    # Broadcast load grows linearly with the crowd...
+    assert large["broadcast"] > small["broadcast"] * 10
+    # ...spatially scoped awareness stays bounded by local density.
+    assert large["spatial"] < small["broadcast"]
+    assert large["spatial"] < large["broadcast"] / 4
+    # Full awareness is the strictest subset.
+    for stats in results.values():
+        assert stats["full"] <= stats["spatial"] <= stats["broadcast"]
+    benchmark.extra_info["reduction_at_max"] = (
+        large["broadcast"] / max(large["spatial"], 0.1))

@@ -1,0 +1,81 @@
+"""F1 — Figure 1: the space-time matrix and seamless transitions (§3.1).
+
+The paper's claim: a groupware platform must support all four quadrants
+of Johansen's matrix AND switch a live session between them *seamlessly*
+(no loss of membership, artefacts or history).
+
+The bench runs one representative activity per quadrant in a single
+session, forcing a transition before each, and measures (a) state carried
+across every transition and (b) the transition cost in simulated time.
+"""
+
+from benchmarks._util import print_table, run_once
+from repro.core.matrix import classify, render_matrix, transition_path
+from repro.sessions import (
+    ASYNCHRONOUS,
+    CO_LOCATED,
+    REMOTE,
+    SYNCHRONOUS,
+    Session,
+)
+from repro.sim import Environment
+
+SCENARIOS = [
+    ((SYNCHRONOUS, CO_LOCATED), "meeting: brainstorm items"),
+    ((SYNCHRONOUS, REMOTE), "conference: shared editing"),
+    ((ASYNCHRONOUS, REMOTE), "co-authoring: annotate overnight"),
+    ((ASYNCHRONOUS, CO_LOCATED), "shared filing: archive minutes"),
+]
+
+
+def run_experiment():
+    env = Environment()
+    session = Session(env, "project-x", time_mode=SYNCHRONOUS,
+                      place_mode=CO_LOCATED)
+    for member in ("alice", "bob", "carol"):
+        session.join(member)
+    rows = []
+    artefacts_written = 0
+    for (time_mode, place_mode), activity in SCENARIOS:
+        members_before = list(session.members)
+        artefacts_before = dict(session.store.snapshot())
+        start = env.now
+        before, after = transition_path(session, time_mode, place_mode)
+        transition_cost = env.now - start
+        # State must survive the transition bit-for-bit.
+        state_preserved = (session.members == members_before
+                           and {k: v for k, v in
+                                session.store.snapshot().items()
+                                if k in artefacts_before}
+                           == artefacts_before)
+        # Perform the quadrant's activity in the new mode.
+        session.store.write("artefact-" + activity.split(":")[0],
+                            activity, writer="alice", at=env.now)
+        artefacts_written += 1
+        env.run(until=env.now + 10.0)
+        rows.append((classify(session), activity, transition_cost,
+                     "yes" if state_preserved else "NO"))
+    return {
+        "rows": rows,
+        "transitions": len(session.transitions),
+        "artefacts": len(session.store.keys()),
+        "expected_artefacts": artefacts_written,
+    }
+
+
+def test_f1_spacetime_matrix(benchmark):
+    result = run_once(benchmark, run_experiment)
+    print("\n" + render_matrix())
+    print_table(
+        "F1  space-time matrix coverage and seamless transitions",
+        ["quadrant", "activity", "transition cost (s)",
+         "state preserved"],
+        result["rows"])
+    # Paper shape: all four quadrants exercised, zero state loss, and
+    # transitions are instantaneous mode switches, not session restarts.
+    quadrants = {row[0] for row in result["rows"]}
+    assert len(quadrants) == 4
+    assert all(row[3] == "yes" for row in result["rows"])
+    assert all(row[2] == 0.0 for row in result["rows"])
+    assert result["artefacts"] == result["expected_artefacts"]
+    benchmark.extra_info["quadrants"] = len(quadrants)

@@ -1,0 +1,91 @@
+"""A virtual meeting in a DIVE-style shared space, with OVAL tailoring.
+
+Combines two of the paper's "emerging areas" (§3.3):
+
+* a shared virtual environment where conversations form **by position**
+  — walk up to colleagues and an audio link opens; walk away and it
+  closes (Benford & Fahlén's spatial model of interaction);
+* OVAL-style tailoring handling the meeting's paperwork — an agent files
+  the action items that emerge from the conversation.
+
+Run:  python examples/virtual_meeting.py
+"""
+
+from repro.sim import Environment
+from repro.spaces import VirtualEnvironment
+from repro.toolkit import ON_ARRIVAL, OvalSystem, file_into
+
+
+def main() -> None:
+    env = Environment()
+    world = VirtualEnvironment(env, check_interval=0.25)
+
+    # Three colleagues scattered across a large space.
+    world.embody("gordon", 0, 0)
+    world.embody("tom", 60, 0)
+    world.embody("nigel", 0, 60)
+
+    # OVAL: nigel's workspace files incoming action items automatically.
+    oval = OvalSystem()
+    nigel_ws = oval.workspace("nigel")
+    nigel_ws.define_view(
+        "my-actions",
+        lambda obj: obj.fields.get("folder") == "actions")
+    nigel_ws.add_agent(
+        "file-actions",
+        lambda obj, event: event == ON_ARRIVAL
+        and obj.kind == "action-item",
+        file_into("folder", "actions"))
+
+    def meeting(env):
+        # Everyone converges on the meeting corner.
+        walks = [world.walk("tom", 3, 0, speed=8.0),
+                 world.walk("nigel", 0, 3, speed=8.0)]
+        for walk in walks:
+            yield walk
+        yield env.timeout(0.5)
+        print("t={:>5.1f}  links: gordon-tom={} gordon-nigel={} "
+              "tom-nigel={}".format(
+                  env.now,
+                  world.connected("gordon", "tom"),
+                  world.connected("gordon", "nigel"),
+                  world.connected("tom", "nigel")))
+
+        utterance = world.say(
+            "gordon", "we need QoS annotations on stream interfaces")
+        print("t={:>5.1f}  gordon speaks; heard by {}".format(
+            env.now, sorted(utterance.heard_by)))
+
+        # The discussion produces an action item, routed through OVAL.
+        gordon_ws = oval.workspace("gordon")
+        item = gordon_ws.create(
+            "action-item",
+            {"what": "draft QoS annotation proposal", "owner": "nigel"})
+        gordon_ws.send(item, "nigel")
+
+        # Tom is called away: his links close as he leaves.
+        yield world.walk("tom", 80, 80, speed=20.0)
+        yield env.timeout(0.5)
+        print("t={:>5.1f}  tom left; gordon-tom link: {}".format(
+            env.now, world.connected("gordon", "tom")))
+
+        farewell = world.say("gordon", "thanks both")
+        print("t={:>5.1f}  gordon's farewell heard by {}".format(
+            env.now, sorted(farewell.heard_by)))
+
+    done = env.process(meeting(env))
+    env.run(done)
+    world.stop()
+    env.run(until=env.now + 1.0)
+
+    print("\nconversation audio-link history:")
+    for opened, closed, pair in world.link_history:
+        print("  {}: open {:.1f}s".format(
+            " <-> ".join(sorted(pair)), closed - opened))
+    print("\nnigel's filed actions:",
+          [obj.fields["what"]
+           for obj in oval.workspace("nigel").view("my-actions")])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Awareness mechanisms: the paper's counterpart to transparency (§4.2.1).
+
+*"in CSCW, awareness is often as important as transparency"* — this package
+provides the machinery: an event bus fed by shared-workspace activity
+(Figure 2b), the Benford & Fahlén spatial model (aura/focus/nimbus),
+spatial-temporal awareness weightings, and Portholes-style asynchronous
+digests.
+"""
+
+from repro.awareness.digests import Digest, DigestService
+from repro.awareness.objectstore import (
+    CollaborativeObjectStore,
+    ObjectActivity,
+)
+from repro.awareness.events import (
+    ACTION_EDIT,
+    ACTION_JOIN,
+    ACTION_LEAVE,
+    ACTION_MOVE,
+    ACTION_VIEW,
+    AwarenessBus,
+    AwarenessEvent,
+    WorkspaceAwareness,
+    accept_all,
+    ignore_own_actions,
+)
+from repro.awareness.spatial import (
+    Entity,
+    FULL,
+    LEVEL_WEIGHTS,
+    NONE,
+    PERIPHERAL,
+    SharedSpace,
+)
+from repro.awareness.weightings import AwarenessModel
+
+__all__ = [
+    "ACTION_EDIT",
+    "ACTION_JOIN",
+    "ACTION_LEAVE",
+    "ACTION_MOVE",
+    "ACTION_VIEW",
+    "AwarenessBus",
+    "AwarenessEvent",
+    "AwarenessModel",
+    "CollaborativeObjectStore",
+    "ObjectActivity",
+    "Digest",
+    "DigestService",
+    "Entity",
+    "FULL",
+    "LEVEL_WEIGHTS",
+    "NONE",
+    "PERIPHERAL",
+    "SharedSpace",
+    "WorkspaceAwareness",
+    "accept_all",
+    "ignore_own_actions",
+]

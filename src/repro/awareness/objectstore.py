@@ -1,0 +1,117 @@
+"""A collaborative object store with co-worker awareness (§4.2.1).
+
+*"Mariani describes a prototype implementation of a collaborative object
+store, based on an extension of an organisational knowledge base
+browser"* — shared objects annotated with *who is working here*, so that
+browsing the store also conveys colleagues' activity.
+
+:class:`CollaborativeObjectStore` couples a shared store to the
+spatial-temporal awareness model: every write feeds the model, and
+:meth:`browse` returns each object with its co-worker activity
+weightings, recency-decayed and (optionally) spatially scoped.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.awareness.events import ACTION_EDIT, ACTION_VIEW, \
+    AwarenessEvent
+from repro.awareness.spatial import SharedSpace
+from repro.awareness.weightings import AwarenessModel
+from repro.concurrency.store import SharedStore
+from repro.sim import Environment
+
+
+class ObjectActivity:
+    """One browsed object with its co-worker awareness annotations."""
+
+    __slots__ = ("key", "value", "version", "last_writer", "coworkers")
+
+    def __init__(self, key: str, value: Any, version: int,
+                 last_writer: Optional[str],
+                 coworkers: List[Tuple[str, float]]) -> None:
+        self.key = key
+        self.value = value
+        self.version = version
+        self.last_writer = last_writer
+        #: (co-worker, weight) sorted by decreasing weight.
+        self.coworkers = coworkers
+
+    @property
+    def activity_weight(self) -> float:
+        """Total co-worker activity on this object (the 'heat')."""
+        return sum(weight for _, weight in self.coworkers)
+
+    def __repr__(self) -> str:
+        return "<ObjectActivity {} v{} heat={:.2f}>".format(
+            self.key, self.version, self.activity_weight)
+
+
+class CollaborativeObjectStore:
+    """A shared store whose browser shows co-worker activity."""
+
+    def __init__(self, env: Environment,
+                 store: Optional[SharedStore] = None,
+                 space: Optional[SharedSpace] = None,
+                 half_life: float = 120.0) -> None:
+        self.env = env
+        self.store = store or SharedStore("collaborative")
+        self.model = AwarenessModel(space=space, half_life=half_life)
+        self.store.subscribe(self._on_write)
+
+    def _on_write(self, key: str, value: Any, version: int,
+                  writer: str) -> None:
+        self.model.record(AwarenessEvent(writer or "unknown", key,
+                                         ACTION_EDIT, self.env.now))
+
+    # -- user operations ------------------------------------------------------
+
+    def write(self, user: str, key: str, value: Any) -> int:
+        """Write through to the shared store (feeds awareness)."""
+        return self.store.write(key, value, writer=user, at=self.env.now)
+
+    def read(self, user: str, key: str) -> Any:
+        """Read an object; reading is itself visible activity."""
+        value = self.store.read(key, reader=user)
+        self.model.record(AwarenessEvent(user, key, ACTION_VIEW,
+                                         self.env.now))
+        return value
+
+    def browse(self, user: str,
+               keys: Optional[List[str]] = None,
+               minimum_weight: float = 0.01) -> List[ObjectActivity]:
+        """The browser view: objects annotated with co-worker activity.
+
+        Results are sorted by activity heat (most active first) — the
+        organisational knowledge base browser's at-a-glance cue for
+        where colleagues are working.
+        """
+        targets = keys if keys is not None else self.store.keys()
+        now = self.env.now
+        results = []
+        for key in targets:
+            if key not in self.store:
+                continue
+            item = self.store.item(key)
+            weights: Dict[str, float] = {}
+            for event in self.model._events:
+                if event.artefact != key or event.actor == user:
+                    continue
+                impact = self.model.impact(user, event, now)
+                if impact > weights.get(event.actor, 0.0):
+                    weights[event.actor] = impact
+            coworkers = sorted(
+                ((actor, weight) for actor, weight in weights.items()
+                 if weight >= minimum_weight),
+                key=lambda pair: (-pair[1], pair[0]))
+            results.append(ObjectActivity(key, item.value, item.version,
+                                          item.last_writer, coworkers))
+        results.sort(key=lambda oa: (-oa.activity_weight, oa.key))
+        return results
+
+    def hot_objects(self, user: str, limit: int = 5
+                    ) -> List[ObjectActivity]:
+        """Where are colleagues working right now?"""
+        return [oa for oa in self.browse(user)
+                if oa.activity_weight > 0][:limit]

@@ -1,0 +1,88 @@
+"""Awareness weightings from spatial and temporal metrics (§4.2.1).
+
+The paper: *"This work often uses spatial and temporal metrics to generate
+awareness weightings defining the impact of actions on other users."*
+
+:class:`AwarenessModel` combines a spatial weight (from the shared-space
+model) with temporal decay (recent actions matter more) to rank what each
+user should currently be aware of — the input a visualisation layer
+(e.g. Mariani's collaborative object-store browser) would render.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.awareness.events import AwarenessEvent
+from repro.awareness.spatial import SharedSpace
+from repro.errors import ReproError
+
+
+class AwarenessModel:
+    """Ranks events per observer by combined spatial-temporal weight."""
+
+    def __init__(self, space: Optional[SharedSpace] = None,
+                 half_life: float = 30.0) -> None:
+        if half_life <= 0:
+            raise ReproError("half_life must be positive")
+        self.space = space
+        self.half_life = half_life
+        self._events: List[AwarenessEvent] = []
+
+    def record(self, event: AwarenessEvent) -> None:
+        """Add an event to the awareness history."""
+        self._events.append(event)
+
+    def temporal_weight(self, event: AwarenessEvent, now: float) -> float:
+        """Exponential decay with the configured half-life."""
+        age = max(0.0, now - event.at)
+        return 0.5 ** (age / self.half_life)
+
+    def spatial_weight(self, observer: str,
+                       event: AwarenessEvent) -> float:
+        """The spatial model's weighting of actor relative to observer.
+
+        Falls back to 1.0 (no attenuation) when no space is configured or
+        either party is not embedded in it.
+        """
+        if self.space is None:
+            return 1.0
+        if observer not in self.space or event.actor not in self.space:
+            return 1.0
+        return self.space.awareness_weight(
+            self.space.entity(observer), self.space.entity(event.actor))
+
+    def impact(self, observer: str, event: AwarenessEvent,
+               now: float) -> float:
+        """Combined impact of ``event`` on ``observer`` at time ``now``."""
+        if event.actor == observer:
+            return 0.0
+        return self.spatial_weight(observer, event) \
+            * self.temporal_weight(event, now)
+
+    def ranked(self, observer: str, now: float,
+               limit: Optional[int] = None,
+               threshold: float = 0.0) -> List[Tuple[float,
+                                                     AwarenessEvent]]:
+        """Events ranked by impact for ``observer`` (highest first)."""
+        scored = [(self.impact(observer, event, now), event)
+                  for event in self._events]
+        scored = [(weight, event) for weight, event in scored
+                  if weight > threshold]
+        scored.sort(key=lambda pair: (-pair[0], pair[1].event_id))
+        if limit is not None:
+            scored = scored[:limit]
+        return scored
+
+    def prune(self, now: float, minimum_weight: float = 0.01) -> int:
+        """Discard events decayed below ``minimum_weight``; returns count."""
+        before = len(self._events)
+        self._events = [
+            event for event in self._events
+            if self.temporal_weight(event, now) >= minimum_weight]
+        return before - len(self._events)
+
+    @property
+    def event_count(self) -> int:
+        return len(self._events)

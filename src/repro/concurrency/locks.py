@@ -1,0 +1,300 @@
+"""Lock styles for group work: hard, tickle, soft and notification locks.
+
+§4.2.1 of the paper: *"a number of researchers have proposed alternative
+styles of locking to increase the flexibility of transaction mechanisms,
+e.g. tickle locks [Greif & Sarin], soft locks [Cognoter] and notification
+locks [Hornick & Zdonik]"*.  This module implements all four styles over
+one lock table so experiment E3 can sweep them against the same workload:
+
+* **hard** — classic blocking locks (shared/exclusive compatibility, FIFO
+  queue); the transaction baseline builds on these.
+* **tickle** — a blocked requester "tickles" the holder; if the holder has
+  been idle longer than a grace period the lock transfers immediately,
+  otherwise the requester waits.  Holders are notified of takeovers.
+* **soft** — advisory: acquisition always succeeds instantly; conflicting
+  holders are flagged to each other so the *social protocol* resolves it.
+* **notification** — writers exclude only writers; readers are always
+  admitted and subscribe to change notifications ("reading over the
+  shoulder").
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.errors import LockError
+from repro.sim import Counter, Environment, Event
+
+SHARED = "shared"
+EXCLUSIVE = "exclusive"
+
+HARD = "hard"
+TICKLE = "tickle"
+SOFT = "soft"
+NOTIFICATION = "notification"
+
+STYLES = (HARD, TICKLE, SOFT, NOTIFICATION)
+
+_grant_ids = itertools.count(1)
+
+
+class LockGrant:
+    """A live hold on an item; returned by every successful acquire."""
+
+    def __init__(self, table: "LockTable", key: str, owner: str,
+                 mode: str, granted_at: float) -> None:
+        self.grant_id = next(_grant_ids)
+        self.table = table
+        self.key = key
+        self.owner = owner
+        self.mode = mode
+        self.granted_at = granted_at
+        self.last_activity = granted_at
+        self.revoked = False
+        #: Set for soft locks held concurrently with a conflicting grant.
+        self.conflicting = False
+
+    def touch(self) -> None:
+        """Record holder activity (defends a tickle takeover)."""
+        self.last_activity = self.table.env.now
+
+    def release(self) -> None:
+        """Give the lock back."""
+        self.table.release(self)
+
+    def __repr__(self) -> str:
+        return "<LockGrant {} {} by {}>".format(
+            self.key, self.mode, self.owner)
+
+
+class _Waiter:
+    """A queued acquire (or in-place upgrade) request."""
+
+    __slots__ = ("owner", "mode", "event", "enqueued_at", "upgrade_of")
+
+    def __init__(self, owner: str, mode: str, event: Event,
+                 enqueued_at: float,
+                 upgrade_of: Optional[LockGrant] = None) -> None:
+        self.owner = owner
+        self.mode = mode
+        self.event = event
+        self.enqueued_at = enqueued_at
+        self.upgrade_of = upgrade_of
+
+
+class LockTable:
+    """All locks over one shared store, in one of the four styles."""
+
+    def __init__(self, env: Environment, style: str = HARD,
+                 tickle_grace: float = 2.0) -> None:
+        if style not in STYLES:
+            raise LockError("unknown lock style: " + style)
+        if tickle_grace < 0:
+            raise LockError("tickle_grace must be non-negative")
+        self.env = env
+        self.style = style
+        self.tickle_grace = tickle_grace
+        self._held: Dict[str, List[LockGrant]] = {}
+        self._queues: Dict[str, List[_Waiter]] = {}
+        self._watchers: Dict[str, List[Callable[[str, str, str], None]]] = {}
+        self.counters = Counter()
+        #: Called with (grant, taker) when a tickle takeover revokes a hold.
+        self.on_takeover: Optional[Callable[[LockGrant, str], None]] = None
+        #: Called with (grant, other_owner) when soft locks conflict.
+        self.on_conflict: Optional[Callable[[LockGrant, str], None]] = None
+
+    # -- public API ----------------------------------------------------------
+
+    def acquire(self, key: str, owner: str, mode: str = EXCLUSIVE) -> Event:
+        """Request a lock; the event fires with the LockGrant."""
+        if mode not in (SHARED, EXCLUSIVE):
+            raise LockError("unknown mode: " + mode)
+        event = self.env.event()
+        self.counters.incr("requests")
+        if self.style == SOFT:
+            self._grant_soft(key, owner, mode, event)
+            return event
+        if self.style == NOTIFICATION and mode == SHARED:
+            # Readers are always admitted under notification locks.
+            grant = self._install(key, owner, SHARED)
+            self.counters.incr("grants")
+            event.succeed(grant)
+            return event
+        if self._compatible(key, owner, mode):
+            grant = self._install(key, owner, mode)
+            self.counters.incr("grants")
+            event.succeed(grant)
+            return event
+        if self.style == TICKLE and self._tickle(key, owner, mode, event):
+            return event
+        self.counters.incr("waits")
+        self._queues.setdefault(key, []).append(
+            _Waiter(owner, mode, event, self.env.now))
+        return event
+
+    def release(self, grant: LockGrant) -> None:
+        """Release a grant and promote compatible waiters."""
+        held = self._held.get(grant.key, [])
+        if grant not in held:
+            raise LockError("grant is not held: {!r}".format(grant))
+        held.remove(grant)
+        self._refresh_conflicts(grant.key)
+        self._promote(grant.key)
+
+    def upgrade(self, grant: LockGrant) -> Event:
+        """Convert a shared grant to exclusive without releasing it.
+
+        Unlike release-then-reacquire, the holder keeps its shared lock
+        while waiting, preserving two-phase locking (no other writer can
+        slip in between).  Two concurrent upgraders therefore deadlock —
+        callers (the transaction manager) detect and abort one.
+        """
+        if grant.mode == EXCLUSIVE:
+            raise LockError("grant is already exclusive")
+        held = self._held.get(grant.key, [])
+        if grant not in held:
+            raise LockError("grant is not held: {!r}".format(grant))
+        event = self.env.event()
+        others = [h for h in held if h.owner != grant.owner]
+        if not others:
+            grant.mode = EXCLUSIVE
+            self.counters.incr("upgrades")
+            event.succeed(grant)
+        else:
+            self.counters.incr("waits")
+            # Upgraders queue at the front so no later writer overtakes.
+            self._queues.setdefault(grant.key, []).insert(
+                0, _Waiter(grant.owner, EXCLUSIVE, event, self.env.now,
+                           upgrade_of=grant))
+        return event
+
+    def cancel_wait(self, key: str, event: Event) -> bool:
+        """Withdraw a queued acquire (e.g. on deadlock abort)."""
+        queue = self._queues.get(key, [])
+        for waiter in queue:
+            if waiter.event is event:
+                queue.remove(waiter)
+                self.counters.incr("cancelled")
+                return True
+        return False
+
+    def holders(self, key: str) -> List[LockGrant]:
+        """Current grants on ``key``."""
+        return list(self._held.get(key, []))
+
+    def queue_length(self, key: str) -> int:
+        """Requests currently waiting on ``key``."""
+        return len(self._queues.get(key, []))
+
+    def is_held(self, key: str) -> bool:
+        return bool(self._held.get(key))
+
+    def watch(self, key: str,
+              callback: Callable[[str, str, str], None]) -> None:
+        """Notification locks: subscribe to writes on ``key``.
+
+        The callback receives ``(key, writer, kind)``.
+        """
+        self._watchers.setdefault(key, []).append(callback)
+
+    def notify_write(self, key: str, writer: str) -> int:
+        """Notification-lock write signal; returns watchers notified."""
+        notified = 0
+        for callback in self._watchers.get(key, []):
+            callback(key, writer, "write")
+            notified += 1
+        # Shared holders other than the writer also learn of the change.
+        for grant in self._held.get(key, []):
+            if grant.mode == SHARED and grant.owner != writer:
+                notified += 1
+        if notified:
+            self.counters.incr("notifications", notified)
+        return notified
+
+    # -- internals -------------------------------------------------------------
+
+    def _compatible(self, key: str, owner: str, mode: str) -> bool:
+        holders = self._held.get(key, [])
+        if not holders:
+            return True
+        if self.style == NOTIFICATION:
+            # Writers exclude only other owners' writers.
+            return all(h.mode == SHARED or h.owner == owner
+                       for h in holders)
+        if mode == SHARED:
+            return all(h.mode == SHARED for h in holders)
+        return all(h.owner == owner for h in holders)
+
+    def _install(self, key: str, owner: str, mode: str) -> LockGrant:
+        grant = LockGrant(self, key, owner, mode, self.env.now)
+        self._held.setdefault(key, []).append(grant)
+        return grant
+
+    def _grant_soft(self, key: str, owner: str, mode: str,
+                    event: Event) -> None:
+        grant = self._install(key, owner, mode)
+        self.counters.incr("grants")
+        self._refresh_conflicts(key)
+        event.succeed(grant)
+
+    def _refresh_conflicts(self, key: str) -> None:
+        if self.style != SOFT:
+            return
+        holders = self._held.get(key, [])
+        writers = [h for h in holders if h.mode == EXCLUSIVE]
+        conflicted = len(writers) > 1 or (writers and len(holders) > 1)
+        for holder in holders:
+            newly = conflicted and not holder.conflicting
+            holder.conflicting = conflicted
+            if newly:
+                self.counters.incr("conflicts")
+                if self.on_conflict is not None:
+                    others = [h.owner for h in holders if h is not holder]
+                    self.on_conflict(holder,
+                                     others[0] if others else "")
+
+    def _tickle(self, key: str, owner: str, mode: str,
+                event: Event) -> bool:
+        """Attempt a tickle takeover; True if the lock transferred."""
+        holders = self._held.get(key, [])
+        now = self.env.now
+        if not holders:
+            return False
+        if all(now - h.last_activity >= self.tickle_grace for h in holders):
+            for holder in list(holders):
+                holder.revoked = True
+                holders.remove(holder)
+                if self.on_takeover is not None:
+                    self.on_takeover(holder, owner)
+            grant = self._install(key, owner, mode)
+            self.counters.incr("grants")
+            self.counters.incr("takeovers")
+            event.succeed(grant)
+            return True
+        return False
+
+    def _promote(self, key: str) -> None:
+        queue = self._queues.get(key, [])
+        while queue:
+            waiter = queue[0]
+            if waiter.upgrade_of is not None:
+                held = self._held.get(key, [])
+                if waiter.upgrade_of not in held:
+                    # The underlying grant was released while waiting.
+                    queue.pop(0)
+                    waiter.event.defuse()
+                    continue
+                if any(h.owner != waiter.owner for h in held):
+                    break
+                queue.pop(0)
+                waiter.upgrade_of.mode = EXCLUSIVE
+                self.counters.incr("upgrades")
+                waiter.event.succeed(waiter.upgrade_of)
+                continue
+            if not self._compatible(key, waiter.owner, waiter.mode):
+                break
+            queue.pop(0)
+            grant = self._install(key, waiter.owner, waiter.mode)
+            self.counters.incr("grants")
+            waiter.event.succeed(grant)

@@ -1,0 +1,343 @@
+"""Operation transformation for replicated text (GROVE, §4.2.1).
+
+The paper: *"the group editor GROVE adopts a new form of concurrency
+control based on operation transformations.  This allows operations to
+proceed immediately to improve real-time response time."*
+
+This module implements that mechanism with the server-ordered architecture
+later proved correct for the Jupiter system: every site applies its own
+operations immediately (zero response time); a sequencer site establishes
+the canonical order and everyone transforms concurrent operations so all
+replicas converge.  Operations are character-granularity inserts and
+deletes, which keeps the transformation functions total (no splitting) and
+the convergence property (TP1) easy to verify exhaustively.
+
+Pure cores (:class:`OTServerCore`, :class:`OTClientCore`) carry the whole
+algorithm network-free for property testing; :class:`OTServerSite` /
+:class:`OTClientSite` wire them to simulated hosts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConcurrencyError
+from repro.net.network import Host
+from repro.net.packet import Packet
+
+OT_PORT = 30
+
+
+class Insert:
+    """Insert one character at a position."""
+
+    __slots__ = ("pos", "char")
+
+    def __init__(self, pos: int, char: str) -> None:
+        if pos < 0:
+            raise ConcurrencyError("insert position must be non-negative")
+        if len(char) != 1:
+            raise ConcurrencyError("Insert carries exactly one character")
+        self.pos = pos
+        self.char = char
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Insert) and \
+            (self.pos, self.char) == (other.pos, other.char)
+
+    def __repr__(self) -> str:
+        return "Ins({}, {!r})".format(self.pos, self.char)
+
+
+class Delete:
+    """Delete the character at a position."""
+
+    __slots__ = ("pos",)
+
+    def __init__(self, pos: int) -> None:
+        if pos < 0:
+            raise ConcurrencyError("delete position must be non-negative")
+        self.pos = pos
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Delete) and self.pos == other.pos
+
+    def __repr__(self) -> str:
+        return "Del({})".format(self.pos)
+
+
+class Noop:
+    """The identity operation (result of cancelling transforms)."""
+
+    __slots__ = ()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Noop)
+
+    def __repr__(self) -> str:
+        return "Noop()"
+
+
+Op = Any  # Insert | Delete | Noop
+
+
+def apply_op(text: str, op: Op) -> str:
+    """Apply one operation to a text."""
+    if isinstance(op, Noop):
+        return text
+    if isinstance(op, Insert):
+        if op.pos > len(text):
+            raise ConcurrencyError(
+                "insert at {} beyond end {}".format(op.pos, len(text)))
+        return text[:op.pos] + op.char + text[op.pos:]
+    if isinstance(op, Delete):
+        if op.pos >= len(text):
+            raise ConcurrencyError(
+                "delete at {} beyond end {}".format(op.pos, len(text)))
+        return text[:op.pos] + text[op.pos + 1:]
+    raise ConcurrencyError("unknown operation: {!r}".format(op))
+
+
+def apply_ops(text: str, ops: List[Op]) -> str:
+    """Apply a sequence of operations."""
+    for op in ops:
+        text = apply_op(text, op)
+    return text
+
+
+def xform(a: Op, b: Op, a_wins: bool) -> Op:
+    """Transform ``a`` to apply after ``b`` (inclusion transformation).
+
+    ``a_wins`` breaks insert-position ties deterministically; callers must
+    derive it from a total order on sites (here: lexicographic site name).
+    """
+    if isinstance(a, Noop) or isinstance(b, Noop):
+        return a
+    if isinstance(a, Insert) and isinstance(b, Insert):
+        if a.pos < b.pos or (a.pos == b.pos and a_wins):
+            return a
+        return Insert(a.pos + 1, a.char)
+    if isinstance(a, Insert) and isinstance(b, Delete):
+        if a.pos <= b.pos:
+            return a
+        return Insert(a.pos - 1, a.char)
+    if isinstance(a, Delete) and isinstance(b, Insert):
+        if a.pos < b.pos:
+            return a
+        return Delete(a.pos + 1)
+    if isinstance(a, Delete) and isinstance(b, Delete):
+        if a.pos < b.pos:
+            return a
+        if a.pos > b.pos:
+            return Delete(a.pos - 1)
+        return Noop()
+    raise ConcurrencyError("cannot transform {!r} over {!r}".format(a, b))
+
+
+def xform_sequences(ops_a: List[Op], ops_b: List[Op],
+                    a_wins: bool) -> Tuple[List[Op], List[Op]]:
+    """Transform two concurrent sequences over each other.
+
+    Returns ``(A', B')`` with the guarantee (TP1) that applying
+    ``A then B'`` and ``B then A'`` yield the same text.
+    """
+    ops_b = list(ops_b)
+    out_a: List[Op] = []
+    for a in ops_a:
+        for i, b in enumerate(ops_b):
+            a, ops_b[i] = xform(a, b, a_wins), xform(b, a, not a_wins)
+        out_a.append(a)
+    return out_a, ops_b
+
+
+# -- pure protocol cores ------------------------------------------------------
+
+
+class OTServerCore:
+    """Sequencer state: canonical document, revision history."""
+
+    def __init__(self, initial: str = "") -> None:
+        self.text = initial
+        #: history[i] = (site, ops) applied to produce revision i+1.
+        self.history: List[Tuple[str, List[Op]]] = []
+
+    @property
+    def revision(self) -> int:
+        return len(self.history)
+
+    def receive(self, site: str, base_rev: int,
+                ops: List[Op]) -> Tuple[int, List[Op]]:
+        """Ingest ops based on ``base_rev``; returns (new_rev, ops')."""
+        if not 0 <= base_rev <= self.revision:
+            raise ConcurrencyError(
+                "bad base revision {} (server at {})".format(
+                    base_rev, self.revision))
+        transformed = list(ops)
+        for other_site, other_ops in self.history[base_rev:]:
+            transformed, _ = xform_sequences(
+                transformed, list(other_ops), a_wins=site < other_site)
+        self.text = apply_ops(self.text, transformed)
+        self.history.append((site, transformed))
+        return self.revision, transformed
+
+
+class OTClientCore:
+    """One site: immediate local application, one in-flight batch.
+
+    ``revision`` may be non-zero for a late joiner initialised from a
+    server snapshot taken at that revision.
+    """
+
+    def __init__(self, site: str, initial: str = "",
+                 revision: int = 0) -> None:
+        self.site = site
+        self.text = initial
+        self.revision = revision
+        self._inflight: Optional[List[Op]] = None
+        self._queue: List[List[Op]] = []
+
+    @property
+    def has_unacked(self) -> bool:
+        """True while local edits have not been sequenced."""
+        return self._inflight is not None or bool(self._queue)
+
+    def local_edit(self, ops: List[Op]) -> Optional[Tuple[int, List[Op]]]:
+        """Apply locally (immediately) and return a send, if one is due.
+
+        The return value is ``(base_rev, ops)`` to transmit to the server,
+        or ``None`` when a batch is already in flight (the new ops queue).
+        """
+        self.text = apply_ops(self.text, ops)
+        self._queue.append(list(ops))
+        return self._maybe_send()
+
+    def server_ack(self, new_rev: int) -> Optional[Tuple[int, List[Op]]]:
+        """The in-flight batch was sequenced; returns the next send."""
+        if self._inflight is None:
+            raise ConcurrencyError("ack without an in-flight batch")
+        self.revision = new_rev
+        self._inflight = None
+        return self._maybe_send()
+
+    def server_remote(self, new_rev: int, origin: str,
+                      ops: List[Op]) -> List[Op]:
+        """A remote batch arrives; returns the ops applied locally."""
+        incoming = list(ops)
+        mine_wins = self.site < origin
+        if self._inflight is not None:
+            incoming, self._inflight = xform_sequences(
+                incoming, self._inflight, a_wins=not mine_wins)
+        for i, queued in enumerate(self._queue):
+            incoming, self._queue[i] = xform_sequences(
+                incoming, queued, a_wins=not mine_wins)
+        self.text = apply_ops(self.text, incoming)
+        self.revision = new_rev
+        return incoming
+
+    def _maybe_send(self) -> Optional[Tuple[int, List[Op]]]:
+        if self._inflight is not None or not self._queue:
+            return None
+        self._inflight = self._queue.pop(0)
+        return (self.revision, self._inflight)
+
+
+# -- networked sites -----------------------------------------------------------
+
+
+class OTServerSite:
+    """The sequencer attached to a host.
+
+    The server listens on ``port``; clients listen on ``port + 1`` —
+    distinct ports let a client replica co-reside with the sequencer on
+    one host.
+    """
+
+    def __init__(self, host: Host, initial: str = "",
+                 port: int = OT_PORT) -> None:
+        self.core = OTServerCore(initial)
+        self.host = host
+        self.env = host.env
+        self.port = port
+        self.clients: List[str] = []
+        host.on_packet(port, self._on_packet)
+
+    def register(self, client_node: str) -> None:
+        """Admit a client site (it will receive remote broadcasts)."""
+        if client_node not in self.clients:
+            self.clients.append(client_node)
+
+    def snapshot(self) -> Tuple[str, int]:
+        """(text, revision) for initialising a late-joining client."""
+        return (self.core.text, self.core.revision)
+
+    def _on_packet(self, packet: Packet) -> None:
+        message = packet.payload
+        if message.get("type") != "op":
+            return
+        new_rev, transformed = self.core.receive(
+            message["site"], message["base_rev"], message["ops"])
+        self.host.send(packet.src, port=self.port + 1, size=64,
+                       payload={"type": "ack", "rev": new_rev})
+        for client in self.clients:
+            if client != packet.src:
+                self.host.send(client, port=self.port + 1, size=128,
+                               payload={"type": "remote", "rev": new_rev,
+                                        "origin": message["site"],
+                                        "ops": transformed})
+
+
+class OTClientSite:
+    """A collaborating site attached to a host."""
+
+    def __init__(self, host: Host, server_node: str, initial: str = "",
+                 port: int = OT_PORT,
+                 on_remote: Optional[Callable[[List[Op]], None]] = None,
+                 revision: int = 0) -> None:
+        self.core = OTClientCore(host.name, initial, revision=revision)
+        self.host = host
+        self.env = host.env
+        self.server_node = server_node
+        self.port = port
+        self.on_remote = on_remote
+        #: (time, kind) log for response/notification measurements.
+        self.applied_log: List[Tuple[float, str]] = []
+        host.on_packet(port + 1, self._on_packet)
+
+    @property
+    def text(self) -> str:
+        """The site's current (immediately responsive) view."""
+        return self.core.text
+
+    def edit(self, ops: List[Op]) -> None:
+        """Perform a local edit; the user sees it instantly."""
+        self.applied_log.append((self.env.now, "local"))
+        self._transmit(self.core.local_edit(ops))
+
+    def insert(self, pos: int, text: str) -> None:
+        """Convenience: insert a string as successive character ops."""
+        self.edit([Insert(pos + i, ch) for i, ch in enumerate(text)])
+
+    def delete(self, pos: int, count: int = 1) -> None:
+        """Convenience: delete ``count`` characters at ``pos``."""
+        self.edit([Delete(pos) for _ in range(count)])
+
+    def _transmit(self, send: Optional[Tuple[int, List[Op]]]) -> None:
+        if send is None:
+            return
+        base_rev, ops = send
+        self.host.send(self.server_node, port=self.port, size=128,
+                       payload={"type": "op", "site": self.core.site,
+                                "base_rev": base_rev, "ops": ops})
+
+    def _on_packet(self, packet: Packet) -> None:
+        message = packet.payload
+        kind = message.get("type")
+        if kind == "ack":
+            self._transmit(self.core.server_ack(message["rev"]))
+        elif kind == "remote":
+            applied = self.core.server_remote(
+                message["rev"], message["origin"], message["ops"])
+            self.applied_log.append((self.env.now, "remote"))
+            if self.on_remote is not None:
+                self.on_remote(applied)

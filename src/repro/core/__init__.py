@@ -1,0 +1,55 @@
+"""The paper's contribution, operationalised: matrix, viewpoints, platform."""
+
+from repro.core.matrix import (
+    EXAMPLE_APPLICATIONS,
+    QUADRANTS,
+    classify,
+    quadrant_name,
+    render_matrix,
+    transition_path,
+)
+from repro.core.platform import (
+    CooperativePlatform,
+    CooperativeSession,
+    MediaFlow,
+    SharedDocument,
+)
+from repro.core.viewpoints import (
+    COMPUTATIONAL,
+    ComputationalModel,
+    ENGINEERING,
+    ENTERPRISE,
+    EngineeringModel,
+    EnterpriseModel,
+    INFORMATION,
+    InformationModel,
+    ODPSpecification,
+    TECHNOLOGY,
+    TechnologyModel,
+    VIEWPOINTS,
+)
+
+__all__ = [
+    "COMPUTATIONAL",
+    "ComputationalModel",
+    "CooperativePlatform",
+    "CooperativeSession",
+    "ENGINEERING",
+    "ENTERPRISE",
+    "EXAMPLE_APPLICATIONS",
+    "EngineeringModel",
+    "EnterpriseModel",
+    "INFORMATION",
+    "InformationModel",
+    "MediaFlow",
+    "ODPSpecification",
+    "QUADRANTS",
+    "SharedDocument",
+    "TECHNOLOGY",
+    "TechnologyModel",
+    "VIEWPOINTS",
+    "classify",
+    "quadrant_name",
+    "render_matrix",
+    "transition_path",
+]

@@ -1,0 +1,215 @@
+"""The five ODP viewpoints, with the paper's §4.1 additions.
+
+ODP prescribes five viewpoints on one system: enterprise, information,
+computational, engineering and technology.  The paper's §4.1 argues the
+Enterprise and Information viewpoints are underpopulated and that CSCW's
+understanding of the *sociality of work* should inform them — so the
+enterprise model here carries communities, dynamic roles, informal
+(working) task allocations and ethnographic observations as first-class
+content, and the consistency checker verifies the viewpoints against each
+other without forcing one prescriptive model on the work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ViewpointError
+
+ENTERPRISE = "enterprise"
+INFORMATION = "information"
+COMPUTATIONAL = "computational"
+ENGINEERING = "engineering"
+TECHNOLOGY = "technology"
+
+VIEWPOINTS = (ENTERPRISE, INFORMATION, COMPUTATIONAL, ENGINEERING,
+              TECHNOLOGY)
+
+
+class EnterpriseModel:
+    """Communities, roles, policies — and the sociality of work."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.communities: Dict[str, List[str]] = {}
+        self.roles: Set[str] = set()
+        #: role -> role: who *formally* hands work to whom.
+        self.formal_flows: List[Tuple[str, str]] = []
+        #: Observed, informal reallocations (the working division of
+        #: labour, §2.2) — kept distinct from the formal flows rather
+        #: than normalised away.
+        self.working_flows: List[Tuple[str, str]] = []
+        #: Free-text ethnographic observations attached to roles.
+        self.observations: Dict[str, List[str]] = {}
+
+    def add_community(self, name: str, roles: List[str]) -> None:
+        """A community of roles pursuing a shared objective."""
+        if not roles:
+            raise ViewpointError("a community needs at least one role")
+        self.communities[name] = list(roles)
+        self.roles.update(roles)
+
+    def add_formal_flow(self, src_role: str, dst_role: str) -> None:
+        self._check_roles(src_role, dst_role)
+        self.formal_flows.append((src_role, dst_role))
+
+    def add_working_flow(self, src_role: str, dst_role: str) -> None:
+        """Record an observed informal handover (not prescribed)."""
+        self._check_roles(src_role, dst_role)
+        self.working_flows.append((src_role, dst_role))
+
+    def observe(self, role: str, note: str) -> None:
+        """Attach an ethnographic observation to a role."""
+        if role not in self.roles:
+            raise ViewpointError("unknown role " + role)
+        self.observations.setdefault(role, []).append(note)
+
+    def informality_ratio(self) -> float:
+        """Working flows as a fraction of all flows — how much of the
+        real coordination the formal model alone would miss."""
+        total = len(self.formal_flows) + len(self.working_flows)
+        if total == 0:
+            return 0.0
+        return len(self.working_flows) / total
+
+    def _check_roles(self, *roles: str) -> None:
+        for role in roles:
+            if role not in self.roles:
+                raise ViewpointError("unknown role " + role)
+
+
+class InformationModel:
+    """Shared information schemas and invariants."""
+
+    def __init__(self) -> None:
+        self.schemas: Dict[str, Dict[str, str]] = {}
+        self.invariants: Dict[str, str] = {}
+
+    def add_schema(self, name: str, fields: Dict[str, str]) -> None:
+        if not fields:
+            raise ViewpointError("a schema needs at least one field")
+        self.schemas[name] = dict(fields)
+
+    def add_invariant(self, name: str, statement: str) -> None:
+        self.invariants[name] = statement
+
+
+class ComputationalModel:
+    """Objects and their interfaces, including stream interfaces."""
+
+    OPERATIONAL = "operational"
+    STREAM = "stream"
+
+    def __init__(self) -> None:
+        #: object -> list of (interface name, kind).
+        self.objects: Dict[str, List[Tuple[str, str]]] = {}
+        self.bindings: List[Tuple[str, str]] = []
+
+    def add_object(self, name: str) -> None:
+        self.objects.setdefault(name, [])
+
+    def add_interface(self, obj: str, interface: str,
+                      kind: str = OPERATIONAL) -> None:
+        if kind not in (self.OPERATIONAL, self.STREAM):
+            raise ViewpointError("unknown interface kind " + kind)
+        if obj not in self.objects:
+            raise ViewpointError("unknown object " + obj)
+        self.objects[obj].append((interface, kind))
+
+    def bind(self, interface_a: str, interface_b: str) -> None:
+        known = {name for interfaces in self.objects.values()
+                 for name, _ in interfaces}
+        for interface in (interface_a, interface_b):
+            if interface not in known:
+                raise ViewpointError("unknown interface " + interface)
+        self.bindings.append((interface_a, interface_b))
+
+    def stream_interfaces(self) -> List[str]:
+        return [name for interfaces in self.objects.values()
+                for name, kind in interfaces if kind == self.STREAM]
+
+
+class EngineeringModel:
+    """Nodes, capsules and the support each computational object needs."""
+
+    def __init__(self) -> None:
+        self.nodes: Set[str] = set()
+        #: computational object -> node hosting it.
+        self.placements: Dict[str, str] = {}
+        #: stream interface -> transport ("multicast", "unicast", ...).
+        self.stream_support: Dict[str, str] = {}
+
+    def add_node(self, name: str) -> None:
+        self.nodes.add(name)
+
+    def place(self, obj: str, node: str) -> None:
+        if node not in self.nodes:
+            raise ViewpointError("unknown node " + node)
+        self.placements[obj] = node
+
+    def support_stream(self, interface: str, transport: str) -> None:
+        self.stream_support[interface] = transport
+
+
+class TechnologyModel:
+    """Concrete technology selections."""
+
+    def __init__(self) -> None:
+        self.choices: Dict[str, str] = {}
+
+    def choose(self, requirement: str, technology: str) -> None:
+        self.choices[requirement] = technology
+
+
+class ODPSpecification:
+    """One system described from all five viewpoints, with checks."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.enterprise = EnterpriseModel(name)
+        self.information = InformationModel()
+        self.computational = ComputationalModel()
+        self.engineering = EngineeringModel()
+        self.technology = TechnologyModel()
+
+    def check_consistency(self) -> List[str]:
+        """Cross-viewpoint conformance: returns a list of problems.
+
+        Checks (one per inter-viewpoint dependency):
+        * every computational object is placed on an engineering node;
+        * every stream interface has engineering stream support;
+        * every binding connects interfaces of placed objects;
+        * communities that share information have a schema for it
+          (approximated: any formal flow requires at least one schema).
+        """
+        problems: List[str] = []
+        for obj in self.computational.objects:
+            if obj not in self.engineering.placements:
+                problems.append(
+                    "computational object '{}' has no engineering "
+                    "placement".format(obj))
+        for interface in self.computational.stream_interfaces():
+            if interface not in self.engineering.stream_support:
+                problems.append(
+                    "stream interface '{}' has no engineering transport"
+                    .format(interface))
+        placed = set(self.engineering.placements)
+        interface_owner = {
+            name: obj for obj, interfaces in
+            self.computational.objects.items()
+            for name, _ in interfaces}
+        for a, b in self.computational.bindings:
+            for interface in (a, b):
+                owner = interface_owner.get(interface)
+                if owner is not None and owner not in placed:
+                    problems.append(
+                        "binding {}<->{} touches unplaced object '{}'"
+                        .format(a, b, owner))
+        if self.enterprise.formal_flows and not self.information.schemas:
+            problems.append(
+                "enterprise flows exist but no information schema is "
+                "defined")
+        return problems
+
+    def is_consistent(self) -> bool:
+        return not self.check_consistency()

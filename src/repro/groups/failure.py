@@ -1,0 +1,153 @@
+"""Heartbeat failure detection for process groups.
+
+Each member periodically sends a heartbeat to the monitor; a member not
+heard from within ``suspect_after`` seconds is *suspected* and reported.
+Wired to :meth:`ProcessGroup.fail_member`, suspicion drives view changes —
+the availability half of the paper's "reliability stems from the system as
+a whole" observation (§2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import GroupError
+from repro.net.network import Host, Network
+from repro.net.packet import Packet
+from repro.sim import Environment
+
+HEARTBEAT_PORT = 21
+
+
+class HeartbeatSender:
+    """Emits heartbeats from a member host to the monitor host."""
+
+    def __init__(self, host: Host, monitor_node: str,
+                 interval: float = 1.0) -> None:
+        if interval <= 0:
+            raise GroupError("heartbeat interval must be positive")
+        self.host = host
+        self.env = host.env
+        self.monitor_node = monitor_node
+        self.interval = interval
+        self.alive = True
+        self.process = self.env.process(self._run())
+
+    def stop(self) -> None:
+        """Simulate the member crashing (heartbeats cease)."""
+        self.alive = False
+
+    def _run(self):
+        while self.alive:
+            self.host.send(self.monitor_node, payload=self.host.name,
+                           size=16, port=HEARTBEAT_PORT,
+                           headers={"type": "heartbeat"})
+            yield self.env.timeout(self.interval)
+
+
+class MonitoredMembership:
+    """Wires heartbeat failure detection to a group's membership.
+
+    Every member sends heartbeats to the coordinator's host; a silent
+    member is suspected and removed from the view automatically (a clean
+    ``leave`` through the group, so the view change installs everywhere).
+    Simulate a crash with :meth:`crash`.
+    """
+
+    def __init__(self, group, interval: float = 0.5,
+                 suspect_after: float = 2.0) -> None:
+        coordinator = group.coordinator
+        if coordinator is None:
+            raise GroupError("cannot monitor an empty group")
+        self.group = group
+        self.interval = interval
+        monitor_host = group.endpoints[coordinator].host
+        self.senders = {}
+        members = [m for m in group.view.members]
+        self.monitor = HeartbeatMonitor(
+            monitor_host, [m for m in members if m != coordinator],
+            suspect_after=suspect_after,
+            check_interval=interval / 2,
+            on_suspect=self._on_suspect)
+        for member in members:
+            if member == coordinator:
+                continue
+            self.senders[member] = HeartbeatSender(
+                group.endpoints[member].host, coordinator,
+                interval=interval)
+
+    def watch_new_member(self, member: str) -> None:
+        """Start monitoring a member that joined after construction."""
+        if member in self.senders:
+            return
+        coordinator = self.group.coordinator
+        self.monitor.watch(member)
+        self.senders[member] = HeartbeatSender(
+            self.group.endpoints[member].host, coordinator,
+            interval=self.interval)
+
+    def crash(self, member: str) -> None:
+        """Simulate ``member`` failing (its heartbeats stop)."""
+        sender = self.senders.get(member)
+        if sender is None:
+            raise GroupError("{} is not monitored".format(member))
+        sender.stop()
+
+    def _on_suspect(self, member: str) -> None:
+        self.monitor.unwatch(member)
+        self.senders.pop(member, None)
+        self.group.fail_member(member)
+
+
+class HeartbeatMonitor:
+    """Watches heartbeats and reports suspected members."""
+
+    def __init__(self, host: Host, members: List[str],
+                 suspect_after: float = 3.0,
+                 check_interval: float = 0.5,
+                 on_suspect: Optional[Callable[[str], None]] = None) -> None:
+        if suspect_after <= 0 or check_interval <= 0:
+            raise GroupError("timeouts must be positive")
+        self.host = host
+        self.env = host.env
+        self.suspect_after = suspect_after
+        self.check_interval = check_interval
+        self.on_suspect = on_suspect
+        self.last_heard: Dict[str, float] = {
+            member: self.env.now for member in members}
+        self.suspected: List[str] = []
+        host.on_packet(HEARTBEAT_PORT, self._on_heartbeat)
+        self.process = self.env.process(self._run())
+
+    def watch(self, member: str) -> None:
+        """Start watching an additional member."""
+        self.last_heard[member] = self.env.now
+
+    def unwatch(self, member: str) -> None:
+        """Stop watching a member (e.g. after a clean leave)."""
+        self.last_heard.pop(member, None)
+        if member in self.suspected:
+            self.suspected.remove(member)
+
+    def is_suspected(self, member: str) -> bool:
+        return member in self.suspected
+
+    def _on_heartbeat(self, packet: Packet) -> None:
+        member = packet.payload
+        if member in self.last_heard:
+            self.last_heard[member] = self.env.now
+            if member in self.suspected:
+                # The member was wrongly suspected and has reappeared.
+                self.suspected.remove(member)
+
+    def _run(self):
+        while True:
+            yield self.env.timeout(self.check_interval)
+            now = self.env.now
+            for member, heard in list(self.last_heard.items()):
+                silent = now - heard
+                if silent >= self.suspect_after \
+                        and member not in self.suspected:
+                    self.suspected.append(member)
+                    if self.on_suspect is not None:
+                        self.on_suspect(member)

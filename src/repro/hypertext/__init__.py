@@ -1,0 +1,49 @@
+"""Multi-user hypertext and co-authoring (§3.2.3)."""
+
+from repro.hypertext.network import (
+    HyperLink,
+    HyperNode,
+    HypertextNetwork,
+    LINK_TYPES,
+)
+from repro.hypertext.sepia import (
+    DONE,
+    IN_PROGRESS,
+    PLANNED,
+    PlanningSpace,
+    TASK_STATES,
+)
+from repro.hypertext.quilt import (
+    AUTHOR,
+    CO_AUTHOR,
+    COMMENT,
+    COMMENTER,
+    INCORPORATED,
+    OPEN,
+    QuiltDocument,
+    REJECTED,
+    ROLES,
+    SUGGESTION,
+)
+
+__all__ = [
+    "AUTHOR",
+    "CO_AUTHOR",
+    "COMMENT",
+    "COMMENTER",
+    "DONE",
+    "IN_PROGRESS",
+    "PLANNED",
+    "PlanningSpace",
+    "TASK_STATES",
+    "HyperLink",
+    "HyperNode",
+    "HypertextNetwork",
+    "INCORPORATED",
+    "LINK_TYPES",
+    "OPEN",
+    "QuiltDocument",
+    "REJECTED",
+    "ROLES",
+    "SUGGESTION",
+]

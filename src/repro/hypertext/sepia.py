@@ -1,0 +1,140 @@
+"""SEPIA-style activity spaces for cooperative hyperdocuments (§3.2.3).
+
+*"More recently, systems such as Sepia have extended the provision of
+support for cooperative hypertext by developing facilities to support the
+representation of cooperative work plans as part of the network."*
+
+SEPIA organised hyperdocument authoring into *activity spaces*: a content
+space (the material), a rhetorical space (the argument structure) and a
+**planning space** where the work itself — tasks, assignments,
+dependencies — is represented as hypertext, linked to the content it
+concerns.  This module adds that planning space on top of
+:class:`~repro.hypertext.network.HypertextNetwork`: every task is a node,
+dependencies and assignments are links, so plans are browsed, annotated
+and versioned with exactly the same machinery as the document.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import HypertextError
+from repro.hypertext.network import HyperNode, HypertextNetwork
+
+TASK = "task"
+
+PLANNED = "planned"
+IN_PROGRESS = "in-progress"
+DONE = "done"
+
+TASK_STATES = (PLANNED, IN_PROGRESS, DONE)
+
+
+class PlanningSpace:
+    """Cooperative work plans represented inside the hypertext network."""
+
+    def __init__(self, network: Optional[HypertextNetwork] = None) -> None:
+        self.network = network or HypertextNetwork("plan")
+        self._assignees: Dict[str, List[str]] = {}
+
+    # -- tasks -----------------------------------------------------------------
+
+    def add_task(self, author: str, title: str,
+                 concerning: Optional[str] = None) -> HyperNode:
+        """Create a task node, optionally linked to the content node it
+        concerns (plan and material share one network)."""
+        task = self.network.add_node(author, TASK,
+                                     {"title": title, "state": PLANNED})
+        if concerning is not None:
+            self.network.add_link(author, task.node_id, concerning,
+                                  "annotates")
+        return task
+
+    def tasks(self, state: Optional[str] = None) -> List[HyperNode]:
+        """All tasks, optionally filtered by state."""
+        return [node for node in self.network.nodes()
+                if node.kind == TASK
+                and (state is None or node.content["state"] == state)]
+
+    def set_state(self, user: str, task_id: str, state: str) -> None:
+        """Move a task through its lifecycle (version-checked edit)."""
+        if state not in TASK_STATES:
+            raise HypertextError("unknown task state: " + state)
+        task = self._task(task_id)
+        if state == DONE and self.blocking_tasks(task_id):
+            raise HypertextError(
+                "task {} has unfinished dependencies".format(task_id))
+        new_content = dict(task.content)
+        new_content["state"] = state
+        self.network.edit_node(user, task_id, new_content, task.version)
+
+    # -- dependencies -------------------------------------------------------------
+
+    def depends_on(self, user: str, task_id: str,
+                   prerequisite_id: str) -> None:
+        """Record that a task cannot finish before its prerequisite."""
+        task = self._task(task_id)
+        prerequisite = self._task(prerequisite_id)
+        if task is prerequisite:
+            raise HypertextError("a task cannot depend on itself")
+        if self._reachable(prerequisite_id, task_id):
+            raise HypertextError("dependency would create a cycle")
+        self.network.add_link(user, task.node_id,
+                              prerequisite.node_id, "supports")
+
+    def blocking_tasks(self, task_id: str) -> List[HyperNode]:
+        """Unfinished prerequisites of the task."""
+        self._task(task_id)
+        return [self.network.node(link.dst)
+                for link in self.network.links_from(task_id, "supports")
+                if self.network.node(link.dst).content["state"] != DONE]
+
+    def ready_tasks(self) -> List[HyperNode]:
+        """Planned tasks whose prerequisites are all done."""
+        return [task for task in self.tasks(state=PLANNED)
+                if not self.blocking_tasks(task.node_id)]
+
+    # -- assignment -----------------------------------------------------------------
+
+    def assign(self, assigner: str, task_id: str, assignee: str) -> None:
+        """Give a task to a colleague (visible as plan structure)."""
+        self._task(task_id)
+        self._assignees.setdefault(task_id, [])
+        if assignee in self._assignees[task_id]:
+            raise HypertextError(
+                "{} is already assigned to {}".format(assignee, task_id))
+        self._assignees[task_id].append(assignee)
+
+    def assignees_of(self, task_id: str) -> List[str]:
+        self._task(task_id)
+        return list(self._assignees.get(task_id, []))
+
+    def workload_of(self, user: str) -> List[HyperNode]:
+        """Everything assigned to a user that is not yet done."""
+        return [self._task(task_id)
+                for task_id, users in self._assignees.items()
+                if user in users
+                and self._task(task_id).content["state"] != DONE]
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _task(self, task_id: str) -> HyperNode:
+        node = self.network.node(task_id)
+        if node.kind != TASK:
+            raise HypertextError("{} is not a task".format(task_id))
+        return node
+
+    def _reachable(self, start: str, goal: str) -> bool:
+        """Is ``goal`` reachable from ``start`` along dependencies?"""
+        stack = [start]
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(link.dst for link in
+                         self.network.links_from(node, "supports"))
+        return False

@@ -1,0 +1,79 @@
+"""Communications management: congestion-aware routing (§4.2.1).
+
+The paper lists *communications management* among the ODP management
+functions that must serve cooperative applications.  The mechanism here
+watches per-link traffic, converts it to a utilisation estimate each
+period, and raises congested links' routing weights so subsequent routes
+steer around hot spots — the management loop (monitor → policy → act)
+applied to the network itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.net.link import Link
+from repro.net.network import Network
+from repro.sim import Counter
+
+
+class CommunicationsManager:
+    """Periodic link monitoring driving routing-weight updates."""
+
+    def __init__(self, network: Network, period: float = 5.0,
+                 sensitivity: float = 4.0,
+                 smoothing: float = 0.5) -> None:
+        if period <= 0:
+            raise ReproError("period must be positive")
+        if sensitivity < 0 or not 0 < smoothing <= 1:
+            raise ReproError(
+                "sensitivity must be >= 0 and smoothing in (0, 1]")
+        self.network = network
+        self.env = network.env
+        self.period = period
+        self.sensitivity = sensitivity
+        self.smoothing = smoothing
+        self._last_bytes: Dict[Link, int] = {}
+        self.utilisation: Dict[Link, float] = {}
+        self.counters = Counter()
+        self.running = True
+        self.process = self.env.process(self._run())
+
+    def stop(self) -> None:
+        self.running = False
+
+    def utilisation_of(self, a: str, b: str) -> float:
+        """The smoothed utilisation estimate for a link (0..1+)."""
+        link = self.network.topology.link_between(a, b)
+        return self.utilisation.get(link, 0.0)
+
+    def hottest_links(self, limit: int = 3) -> List[Tuple[Link, float]]:
+        """The most utilised links, for operator display."""
+        ranked = sorted(self.utilisation.items(),
+                        key=lambda pair: -pair[1])
+        return ranked[:limit]
+
+    def _run(self):
+        while self.running:
+            yield self.env.timeout(self.period)
+            self._sample()
+
+    def _sample(self) -> None:
+        changed = False
+        for link in self.network.topology.links():
+            carried = link.stats.bytes - self._last_bytes.get(link, 0)
+            self._last_bytes[link] = link.stats.bytes
+            instantaneous = (carried * 8.0 / self.period) / link.bandwidth
+            previous = self.utilisation.get(link, 0.0)
+            smoothed = (previous * (1 - self.smoothing)
+                        + instantaneous * self.smoothing)
+            self.utilisation[link] = smoothed
+            new_multiplier = 1.0 + self.sensitivity * smoothed
+            if abs(new_multiplier - link.weight_multiplier) > 0.05:
+                link.weight_multiplier = new_multiplier
+                changed = True
+        self.counters.incr("samples")
+        if changed:
+            self.counters.incr("reroutes")
+            self.network.topology.invalidate_routes()

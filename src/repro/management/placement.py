@@ -1,0 +1,137 @@
+"""Placement policies: where to put shared objects (§4.2.1 "Management").
+
+*"The most important issues identified to date are that of the initial
+placement of objects (node management) and their subsequent re-location
+(cluster management).  ...objects are likely to be shared by a group of
+users at geographically dispersed sites with each site requiring similar
+real-time response."*
+
+Policies (one interface, experiment E6 sweeps them):
+
+* :class:`FirstNodePlacement` — the naive baseline: wherever the creator
+  happens to be (first candidate).
+* :class:`RandomPlacement` — uniform choice.
+* :class:`LoadBalancedPlacement` — fewest objects first, ignoring the
+  group's geography.
+* :class:`GroupAwarePlacement` — minimise the *worst* member's latency
+  (minimax), optionally weighted by observed access counts: the
+  group-aware policy the paper calls for.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.errors import PlacementError
+from repro.net.topology import Topology
+
+
+class PlacementPolicy:
+    """Chooses a hosting node for an object used by a group of nodes."""
+
+    name = "abstract"
+
+    def place(self, candidates: List[str], user_nodes: List[str],
+              topology: Topology,
+              weights: Optional[Dict[str, int]] = None) -> str:
+        raise NotImplementedError
+
+    @staticmethod
+    def _check(candidates: List[str]) -> None:
+        if not candidates:
+            raise PlacementError("no candidate nodes")
+
+
+class FirstNodePlacement(PlacementPolicy):
+    """The creator's node (what happens with no policy at all)."""
+
+    name = "first-node"
+
+    def place(self, candidates, user_nodes, topology, weights=None):
+        self._check(candidates)
+        return candidates[0]
+
+
+class RandomPlacement(PlacementPolicy):
+    """Uniformly random choice among candidates."""
+
+    name = "random"
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self._rng = rng or random.Random(0)
+
+    def place(self, candidates, user_nodes, topology, weights=None):
+        self._check(candidates)
+        return self._rng.choice(candidates)
+
+
+class LoadBalancedPlacement(PlacementPolicy):
+    """Fewest hosted objects wins; geography is ignored."""
+
+    name = "load-balanced"
+
+    def __init__(self) -> None:
+        self.load: Dict[str, int] = {}
+
+    def place(self, candidates, user_nodes, topology, weights=None):
+        self._check(candidates)
+        chosen = min(candidates, key=lambda node:
+                     (self.load.get(node, 0), node))
+        self.load[chosen] = self.load.get(chosen, 0) + 1
+        return chosen
+
+
+class GroupAwarePlacement(PlacementPolicy):
+    """Minimise the worst (weighted) member latency — fair real-time
+    response for a geographically dispersed group."""
+
+    name = "group-aware"
+
+    def place(self, candidates, user_nodes, topology, weights=None):
+        self._check(candidates)
+        if not user_nodes:
+            return candidates[0]
+        best_node = None
+        best_cost = float("inf")
+        for candidate in candidates:
+            cost = self._worst_latency(candidate, user_nodes, topology,
+                                       weights)
+            if cost < best_cost:
+                best_cost = cost
+                best_node = candidate
+        if best_node is None:
+            raise PlacementError(
+                "no candidate can reach the whole group")
+        return best_node
+
+    @staticmethod
+    def _worst_latency(candidate: str, user_nodes: List[str],
+                       topology: Topology,
+                       weights: Optional[Dict[str, int]]) -> float:
+        worst = 0.0
+        for node in user_nodes:
+            try:
+                latency = topology.path_latency(candidate, node)
+            except Exception:
+                return float("inf")
+            if weights:
+                # Weighted: a heavy user's latency matters more.
+                latency *= 1.0 + weights.get(node, 0) / 10.0
+            worst = max(worst, latency)
+        return worst
+
+
+PLACEMENT_POLICIES = {
+    "first-node": FirstNodePlacement,
+    "random": RandomPlacement,
+    "load-balanced": LoadBalancedPlacement,
+    "group-aware": GroupAwarePlacement,
+}
+
+
+def response_latencies(host_node: str, user_nodes: List[str],
+                       topology: Topology) -> Dict[str, float]:
+    """Round-trip invocation latency each member sees for a placement."""
+    return {node: 2.0 * topology.path_latency(host_node, node)
+            for node in user_nodes}

@@ -1,0 +1,33 @@
+"""Mobile computing support (§3.3.3, §4.2.2 "The impact of mobility").
+
+Connectivity levels and outage accounting (:mod:`~repro.mobility.host`),
+Coda-style caching with optimistic replay and bulk reintegration
+(:mod:`~repro.mobility.cache`) and home-agent addressing with handoff
+(:mod:`~repro.mobility.addressing`).
+"""
+
+from repro.mobility.addressing import (
+    HOME_AGENT_PORT,
+    HomeAgent,
+    RoamingMobile,
+)
+from repro.mobility.cache import (
+    CLIENT_WINS,
+    MobileCache,
+    SERVER_WINS,
+)
+from repro.mobility.host import (
+    DisconnectionTolerantContract,
+    MobileHost,
+)
+
+__all__ = [
+    "CLIENT_WINS",
+    "DisconnectionTolerantContract",
+    "HOME_AGENT_PORT",
+    "HomeAgent",
+    "MobileCache",
+    "MobileHost",
+    "RoamingMobile",
+    "SERVER_WINS",
+]

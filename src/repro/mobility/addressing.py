@@ -1,0 +1,109 @@
+"""Addressing for mobile computers: home-agent forwarding (§3.3.3).
+
+The paper cites Bhagwat & Perkins' mobile-IP work: messages addressed to a
+mobile host reach its *home agent*, which tunnels them to the current
+point of attachment.  :class:`HomeAgent` keeps the binding; handoffs
+update it; senders keep using the stable home address.  Triangle-routing
+cost (sender → home → mobile) is measurable against direct delivery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import MobilityError
+from repro.net.network import Network
+from repro.net.packet import Packet
+from repro.net.radio import ConnectivityLevel, RadioLink, attach_mobile
+from repro.sim import Counter
+
+HOME_AGENT_PORT = 50
+
+
+class HomeAgent:
+    """A fixed node that forwards traffic to roaming mobiles."""
+
+    def __init__(self, network: Network, node: str) -> None:
+        self.network = network
+        self.env = network.env
+        self.node = node
+        self.host = network.host(node)
+        #: mobile name -> current base-station node.
+        self._bindings: Dict[str, str] = {}
+        self.counters = Counter()
+        self.host.on_packet(HOME_AGENT_PORT, self._on_packet)
+
+    def register(self, mobile: str, base: str) -> None:
+        """Record (or update, on handoff) the mobile's care-of base."""
+        if base not in self.network.topology._adjacency:
+            raise MobilityError("unknown base station {}".format(base))
+        previous = self._bindings.get(mobile)
+        self._bindings[mobile] = base
+        self.counters.incr("handoffs" if previous else "registrations")
+
+    def deregister(self, mobile: str) -> None:
+        self._bindings.pop(mobile, None)
+
+    def binding_of(self, mobile: str) -> Optional[str]:
+        return self._bindings.get(mobile)
+
+    def send_to_mobile(self, sender_node: str, mobile: str,
+                       payload: Any = None, size: int = 0,
+                       port: int = 0) -> None:
+        """Send via the home agent (sender only knows the home address)."""
+        sender = self.network.host(sender_node)
+        sender.send(self.node, port=HOME_AGENT_PORT, size=size,
+                    payload={"mobile": mobile, "data": payload,
+                             "port": port, "size": size})
+
+    def _on_packet(self, packet: Packet) -> None:
+        request = packet.payload
+        mobile = request["mobile"]
+        base = self._bindings.get(mobile)
+        if base is None:
+            self.counters.incr("undeliverable")
+            return
+        self.counters.incr("forwarded")
+        # Tunnel to the mobile through its current attachment.
+        self.host.send(mobile, port=request["port"],
+                       size=request["size"], payload=request["data"])
+
+
+class RoamingMobile:
+    """A mobile that hands off between base stations, keeping its name."""
+
+    def __init__(self, network: Network, name: str, home_agent: HomeAgent,
+                 initial_base: str,
+                 level: ConnectivityLevel = ConnectivityLevel.PARTIAL
+                 ) -> None:
+        self.network = network
+        self.env = network.env
+        self.name = name
+        self.home_agent = home_agent
+        self.level = level
+        self.link: RadioLink = attach_mobile(
+            network.topology, name, initial_base, level=level)
+        self.base = initial_base
+        self.host = network.host(name)
+        home_agent.register(name, initial_base)
+        self.handoffs: List[Tuple[float, str, str]] = []
+
+    def handoff(self, new_base: str) -> None:
+        """Detach from the current base and attach to ``new_base``."""
+        if new_base == self.base:
+            raise MobilityError("already attached to " + new_base)
+        topology = self.network.topology
+        if new_base not in topology._adjacency:
+            raise MobilityError("unknown base station " + new_base)
+        # Tear down the old radio link...
+        old_link = self.link
+        old_link.set_level(ConnectivityLevel.DISCONNECTED)
+        del topology._adjacency[self.name][self.base]
+        del topology._adjacency[self.base][self.name]
+        # ...and raise the new one.
+        self.link = attach_mobile(topology, self.name, new_base,
+                                  level=self.level)
+        self.handoffs.append((self.env.now, self.base, new_base))
+        self.base = new_base
+        topology.invalidate_routes()
+        self.home_agent.register(self.name, new_base)

@@ -1,0 +1,53 @@
+"""Simulated packet network: links, topologies, hosts and transports.
+
+This is the engineering substrate every middleware layer runs over.  The
+model is packet-level: per-link transmission delay (serialisation at the
+link bandwidth), propagation latency with optional jitter, Bernoulli loss,
+static shortest-path routing, source-rooted multicast trees and radio links
+with the paper's three mobile connectivity levels.
+"""
+
+from repro.net.link import Link, LinkStats
+from repro.net.multicast import MulticastGroup, MulticastService
+from repro.net.network import Host, Network
+from repro.net.packet import HEADER_BYTES, Packet
+from repro.net.radio import (
+    ConnectivityLevel,
+    ConnectivitySchedule,
+    RadioLink,
+    attach_mobile,
+    periodic_trace,
+)
+from repro.net.topology import Topology, dumbbell, lan, line, star, wan
+from repro.net.transport import (
+    ReliableChannel,
+    RemoteException,
+    RpcEndpoint,
+    RpcError,
+)
+
+__all__ = [
+    "ConnectivityLevel",
+    "ConnectivitySchedule",
+    "HEADER_BYTES",
+    "Host",
+    "Link",
+    "LinkStats",
+    "MulticastGroup",
+    "MulticastService",
+    "Network",
+    "Packet",
+    "RadioLink",
+    "ReliableChannel",
+    "RemoteException",
+    "RpcEndpoint",
+    "RpcError",
+    "Topology",
+    "attach_mobile",
+    "dumbbell",
+    "lan",
+    "line",
+    "periodic_trace",
+    "star",
+    "wan",
+]

@@ -1,0 +1,148 @@
+"""The network: hosts, packet delivery and per-hop simulation.
+
+A :class:`Network` wraps a :class:`~repro.net.topology.Topology` and moves
+:class:`~repro.net.packet.Packet` objects between :class:`Host` objects.
+Each packet is driven by its own simulation process: per link it serialises
+on the directional channel (transmission delay), then waits the propagation
+delay, and may be dropped by the link's loss model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import NetworkError, RoutingError
+from repro.net.packet import Packet
+from repro.net.topology import Topology
+from repro.sim import Counter, Environment, Store, Tally
+
+#: Default packet priority; QoS-reserved flows use lower (better) values.
+BEST_EFFORT_PRIORITY = 10
+RESERVED_PRIORITY = 0
+
+
+class Host:
+    """A network endpoint attached to a topology node.
+
+    Incoming packets are demultiplexed by port into per-port inboxes;
+    a process receives with ``yield host.receive(port)``.  Handlers may be
+    registered instead for push-style delivery.
+    """
+
+    def __init__(self, network: "Network", name: str) -> None:
+        self.network = network
+        self.env = network.env
+        self.name = name
+        self._inboxes: Dict[int, Store] = {}
+        self._handlers: Dict[int, Callable[[Packet], None]] = {}
+        self.sent = 0
+        self.received = 0
+
+    def inbox(self, port: int = 0) -> Store:
+        """The inbox store for ``port`` (created on first use)."""
+        if port not in self._inboxes:
+            self._inboxes[port] = Store(self.env)
+        return self._inboxes[port]
+
+    def send(self, dst: str, payload: Any = None, size: int = 0,
+             port: int = 0, headers: Optional[Dict[str, Any]] = None) -> Packet:
+        """Send a datagram (fire-and-forget); returns the packet."""
+        packet = Packet(self.name, dst, payload=payload, size=size,
+                        port=port, created_at=self.env.now, headers=headers)
+        self.sent += 1
+        self.network.transmit(packet)
+        return packet
+
+    def receive(self, port: int = 0):
+        """An event yielding the next packet on ``port``."""
+        return self.inbox(port).get()
+
+    def on_packet(self, port: int,
+                  handler: Callable[[Packet], None]) -> None:
+        """Register a push handler for ``port`` (replaces inbox delivery)."""
+        self._handlers[port] = handler
+
+    def _deliver(self, packet: Packet) -> None:
+        self.received += 1
+        packet.delivered_at = self.env.now
+        handler = self._handlers.get(packet.port)
+        if handler is not None:
+            handler(packet)
+        else:
+            self.inbox(packet.port).put(packet)
+
+    def __repr__(self) -> str:
+        return "<Host {}>".format(self.name)
+
+
+class Network:
+    """Moves packets across a topology between registered hosts."""
+
+    def __init__(self, env: Environment, topology: Topology) -> None:
+        if topology.env is not env:
+            raise NetworkError("topology belongs to a different environment")
+        self.env = env
+        self.topology = topology
+        self.hosts: Dict[str, Host] = {}
+        self.counters = Counter()
+        self.delivery_latency = Tally("delivery-latency")
+        #: Optional hook called with (packet, reason) on every drop.
+        self.on_drop: Optional[Callable[[Packet, str], None]] = None
+
+    def host(self, name: str) -> Host:
+        """Create (or fetch) the host attached to topology node ``name``."""
+        if name not in self.topology._adjacency:
+            raise NetworkError("no topology node named {}".format(name))
+        if name not in self.hosts:
+            self.hosts[name] = Host(self, name)
+        return self.hosts[name]
+
+    def transmit(self, packet: Packet) -> None:
+        """Launch the per-packet delivery process."""
+        self.counters.incr("sent")
+        self.env.process(self._carry(packet))
+
+    def _carry(self, packet: Packet):
+        try:
+            links = self.topology.path(packet.src, packet.dst)
+        except RoutingError:
+            self._drop(packet, "no-route")
+            return
+        node = packet.src
+        priority = packet.headers.get("priority", BEST_EFFORT_PRIORITY)
+        for link in links:
+            channel = link.channel(node)
+            with channel.request(priority=priority) as claim:
+                yield claim
+                yield self.env.timeout(
+                    link.transmission_delay(packet.wire_size))
+            if link.drops_packet():
+                link.stats.drops += 1
+                self._drop(packet, "loss")
+                return
+            yield self.env.timeout(link.propagation_delay())
+            link.stats.packets += 1
+            link.stats.bytes += packet.wire_size
+            packet.hops += 1
+            node = link.other_end(node)
+        target = self.hosts.get(packet.dst)
+        if target is None:
+            self._drop(packet, "no-host")
+            return
+        self.counters.incr("delivered")
+        self.delivery_latency.record(self.env.now - packet.created_at)
+        target._deliver(packet)
+
+    def _drop(self, packet: Packet, reason: str) -> None:
+        self.counters.incr("dropped")
+        self.counters.incr("dropped:" + reason)
+        if self.on_drop is not None:
+            self.on_drop(packet, reason)
+
+    def total_link_bytes(self) -> int:
+        """Bytes carried across every link (the E9 cost metric)."""
+        return sum(link.stats.bytes for link in self.topology.links())
+
+    def __repr__(self) -> str:
+        return "<Network hosts={} nodes={}>".format(
+            len(self.hosts), len(self.topology.nodes))

@@ -1,0 +1,203 @@
+"""Transports above the raw datagram service: reliable delivery and RPC.
+
+:class:`ReliableChannel` gives per-destination FIFO, exactly-once delivery
+via acknowledgements, retransmission and sequence-number deduplication.
+:class:`RpcEndpoint` layers request/response invocation (the computational-
+viewpoint *operational interface* of ODP) on top of it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import TransportError
+from repro.net.network import Host
+from repro.net.packet import Packet
+from repro.sim import Event, Store
+
+
+class ReliableChannel:
+    """Acknowledged, deduplicated, per-sender FIFO delivery on one port."""
+
+    def __init__(self, host: Host, port: int = 1,
+                 ack_timeout: float = 0.2, max_retries: int = 8) -> None:
+        if max_retries < 0:
+            raise TransportError("max_retries must be non-negative")
+        self.host = host
+        self.env = host.env
+        self.port = port
+        self.ack_timeout = ack_timeout
+        self.max_retries = max_retries
+        # Sequence numbers are per destination: the receiver reorders by
+        # (sender, seq), so a shared counter would leave permanent gaps
+        # for receivers that only see part of the stream.
+        self._seq: Dict[str, "itertools.count"] = {}
+        self._pending_acks: Dict[Tuple[str, int], Event] = {}
+        self._expected: Dict[str, int] = {}
+        self._reorder: Dict[str, Dict[int, Packet]] = {}
+        self._app_inbox = Store(self.env)
+        self.retransmissions = 0
+        host.on_packet(port, self._on_packet)
+
+    def send(self, dst: str, payload: Any = None, size: int = 0) -> Event:
+        """Send reliably; the event fires on ack or fails TransportError."""
+        done = self.env.event()
+        self.env.process(self._send_proc(dst, payload, size, done))
+        return done
+
+    def receive(self):
+        """An event yielding the next in-order packet from any sender."""
+        return self._app_inbox.get()
+
+    # -- internals ---------------------------------------------------------
+
+    def _send_proc(self, dst: str, payload: Any, size: int, done: Event):
+        if dst not in self._seq:
+            self._seq[dst] = itertools.count(1)
+        seq = next(self._seq[dst])
+        attempts = 0
+        while attempts <= self.max_retries:
+            ack = self.env.event()
+            self._pending_acks[(dst, seq)] = ack
+            self.host.send(dst, payload=payload, size=size, port=self.port,
+                           headers={"type": "data", "seq": seq})
+            if attempts > 0:
+                self.retransmissions += 1
+            result = yield self.env.any_of(
+                [ack, self.env.timeout(self.ack_timeout)])
+            if ack in result:
+                self._pending_acks.pop((dst, seq), None)
+                done.succeed(seq)
+                return
+            attempts += 1
+        self._pending_acks.pop((dst, seq), None)
+        done.fail(TransportError(
+            "no ack from {} after {} attempts".format(
+                dst, self.max_retries + 1)))
+
+    def _on_packet(self, packet: Packet) -> None:
+        kind = packet.headers.get("type")
+        if kind == "ack":
+            ack = self._pending_acks.get(
+                (packet.src, packet.headers["seq"]))
+            if ack is not None and not ack.triggered:
+                ack.succeed()
+            return
+        if kind != "data":
+            return
+        seq = packet.headers["seq"]
+        # Always (re-)acknowledge, even duplicates.
+        self.host.send(packet.src, size=0, port=self.port,
+                       headers={"type": "ack", "seq": seq})
+        # Per-sender sequences start at 1; a later seq arriving first
+        # (its predecessor lost, awaiting retransmission) must be held,
+        # not adopted as the baseline.
+        expected = self._expected.get(packet.src, 1)
+        if seq < expected:
+            return  # duplicate
+        buffer = self._reorder.setdefault(packet.src, {})
+        buffer[seq] = packet
+        while expected in buffer:
+            self._app_inbox.put(buffer.pop(expected))
+            expected += 1
+        self._expected[packet.src] = expected
+
+
+class RpcError(TransportError):
+    """An RPC failed (timeout or remote exception)."""
+
+
+class RemoteException(RpcError):
+    """The remote handler raised; carries the remote error message."""
+
+
+class RpcEndpoint:
+    """Request/response invocation between hosts.
+
+    Handlers are registered by method name.  A handler may be a plain
+    function (runs instantaneously in simulated time) or a generator
+    function taking ``(caller, args)`` and yielding simulation events, in
+    which case its return value is the RPC result.
+    """
+
+    def __init__(self, host: Host, port: int = 2,
+                 default_timeout: float = 5.0,
+                 request_size: int = 256, response_size: int = 256) -> None:
+        self.host = host
+        self.env = host.env
+        self.port = port
+        self.default_timeout = default_timeout
+        self.request_size = request_size
+        self.response_size = response_size
+        self._handlers: Dict[str, Callable] = {}
+        self._calls: Dict[int, Event] = {}
+        self._call_ids = itertools.count(1)
+        self.calls_served = 0
+        host.on_packet(port, self._on_packet)
+
+    def register(self, method: str, handler: Callable) -> None:
+        """Expose ``handler`` under ``method``."""
+        self._handlers[method] = handler
+
+    def call(self, dst: str, method: str, args: Any = None,
+             timeout: Optional[float] = None) -> Event:
+        """Invoke ``method`` at ``dst``; the event fires with the result."""
+        done = self.env.event()
+        self.env.process(self._call_proc(
+            dst, method, args,
+            self.default_timeout if timeout is None else timeout, done))
+        return done
+
+    # -- internals ---------------------------------------------------------
+
+    def _call_proc(self, dst: str, method: str, args: Any,
+                   timeout: float, done: Event):
+        call_id = next(self._call_ids)
+        reply = self.env.event()
+        self._calls[call_id] = reply
+        self.host.send(dst, payload={"method": method, "args": args},
+                       size=self.request_size, port=self.port,
+                       headers={"type": "request", "call": call_id})
+        result = yield self.env.any_of(
+            [reply, self.env.timeout(timeout)])
+        self._calls.pop(call_id, None)
+        if reply not in result:
+            done.fail(RpcError("call {} to {} timed out after {:g}s".format(
+                method, dst, timeout)))
+            return
+        ok, value = reply.value
+        if ok:
+            done.succeed(value)
+        else:
+            done.fail(RemoteException(value))
+
+    def _on_packet(self, packet: Packet) -> None:
+        kind = packet.headers.get("type")
+        if kind == "request":
+            self.env.process(self._serve(packet))
+        elif kind == "response":
+            reply = self._calls.get(packet.headers["call"])
+            if reply is not None and not reply.triggered:
+                reply.succeed(packet.payload)
+
+    def _serve(self, packet: Packet):
+        method = packet.payload["method"]
+        args = packet.payload["args"]
+        handler = self._handlers.get(method)
+        if handler is None:
+            outcome = (False, "no such method: {}".format(method))
+        else:
+            try:
+                result = handler(packet.src, args)
+                if hasattr(result, "send") and hasattr(result, "throw"):
+                    result = yield self.env.process(result)
+                outcome = (True, result)
+            except Exception as error:  # noqa: BLE001 - forwarded to caller
+                outcome = (False, "{}: {}".format(
+                    type(error).__name__, error))
+        self.calls_served += 1
+        self.host.send(packet.src, payload=outcome,
+                       size=self.response_size, port=self.port,
+                       headers={"type": "response",
+                                "call": packet.headers["call"]})

@@ -1,0 +1,31 @@
+"""Quality of service: expression, negotiation, monitoring, adaptation.
+
+Implements §4.2.2-ii end to end: :class:`QoSParameters` express desired
+levels (computational viewpoint); :class:`QoSBroker` negotiates and admits
+flows against link budgets (engineering viewpoint); :class:`QoSMonitor`
+watches achieved service and informs the application of degradations so it
+can renegotiate dynamically.
+"""
+
+from repro.qos.broker import QoSBroker
+from repro.qos.monitor import QoSMonitor, QoSObservation
+from repro.qos.params import (
+    ACTIVE,
+    CLOSED,
+    DEGRADED,
+    QoSContract,
+    QoSParameters,
+    VIOLATED,
+)
+
+__all__ = [
+    "ACTIVE",
+    "CLOSED",
+    "DEGRADED",
+    "QoSBroker",
+    "QoSContract",
+    "QoSMonitor",
+    "QoSObservation",
+    "QoSParameters",
+    "VIOLATED",
+]

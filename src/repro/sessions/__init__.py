@@ -1,0 +1,55 @@
+"""Session management, floor control and application sharing (§3.2.2)."""
+
+from repro.sessions.floor import (
+    ChairedFloor,
+    FcfsFloor,
+    FLOOR_POLICIES,
+    FloorPolicy,
+    FreeFloor,
+    NegotiatedFloor,
+    RoundRobinFloor,
+)
+from repro.sessions.session import (
+    ACCEPT,
+    ASYNCHRONOUS,
+    CO_LOCATED,
+    DECLINE,
+    InvitationService,
+    REMOTE,
+    SYNCHRONOUS,
+    Session,
+    TIMEOUT,
+)
+from repro.sessions.telepointers import TelepointerService
+from repro.sessions.sharing import (
+    AwareSharedObject,
+    SingleUserApp,
+    TransparentConference,
+    identical_view,
+    summary_view,
+)
+
+__all__ = [
+    "ACCEPT",
+    "ASYNCHRONOUS",
+    "AwareSharedObject",
+    "CO_LOCATED",
+    "ChairedFloor",
+    "DECLINE",
+    "FLOOR_POLICIES",
+    "FcfsFloor",
+    "FloorPolicy",
+    "FreeFloor",
+    "InvitationService",
+    "NegotiatedFloor",
+    "REMOTE",
+    "RoundRobinFloor",
+    "SYNCHRONOUS",
+    "Session",
+    "SingleUserApp",
+    "TIMEOUT",
+    "TelepointerService",
+    "TransparentConference",
+    "identical_view",
+    "summary_view",
+]

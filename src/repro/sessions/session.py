@@ -1,0 +1,184 @@
+"""Sessions: the unit of cooperative activity (§3.2.2, §3.1).
+
+A :class:`Session` gathers members around shared artefacts, with an
+awareness bus, an optional floor policy and a space-time classification
+(synchronous/asynchronous × co-located/remote).  Sessions support the
+*seamless transition* the paper demands (§3.1): switching interaction mode
+preserves membership, artefacts and history — experiment F1 measures the
+transition.
+
+Members join by invitation (:class:`InvitationService`) and late joiners
+receive a state transfer whose latency scales with artefact size.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.awareness.events import (
+    ACTION_JOIN,
+    ACTION_LEAVE,
+    AwarenessBus,
+)
+from repro.concurrency.store import SharedStore
+from repro.errors import SessionError
+from repro.sessions.floor import FloorPolicy
+from repro.sim import Counter, Environment, Event
+
+SYNCHRONOUS = "synchronous"
+ASYNCHRONOUS = "asynchronous"
+CO_LOCATED = "co-located"
+REMOTE = "remote"
+
+_session_ids = itertools.count(1)
+_invite_ids = itertools.count(1)
+
+
+class Session:
+    """A cooperative session over shared artefacts."""
+
+    def __init__(self, env: Environment, name: str,
+                 time_mode: str = SYNCHRONOUS,
+                 place_mode: str = REMOTE,
+                 floor: Optional[FloorPolicy] = None,
+                 awareness_latency: float = 0.0) -> None:
+        if time_mode not in (SYNCHRONOUS, ASYNCHRONOUS):
+            raise SessionError("unknown time mode: " + time_mode)
+        if place_mode not in (CO_LOCATED, REMOTE):
+            raise SessionError("unknown place mode: " + place_mode)
+        self.session_id = "session-{}".format(next(_session_ids))
+        self.env = env
+        self.name = name
+        self.time_mode = time_mode
+        self.place_mode = place_mode
+        self.floor = floor
+        self.members: List[str] = []
+        # Session workspaces keep a public history — accountability in
+        # the collective process (§2.3).
+        self.store = SharedStore(name + "-store", keep_history=True)
+        self.awareness = AwarenessBus(env, latency=awareness_latency)
+        self.counters = Counter()
+        #: (at, from_mode, to_mode) transition history.
+        self.transitions: List[Tuple[float, str, str]] = []
+        self._member_state_size = 0
+
+    @property
+    def quadrant(self) -> Tuple[str, str]:
+        """The session's current cell in the space-time matrix."""
+        return (self.time_mode, self.place_mode)
+
+    def join(self, member: str) -> None:
+        """Add a member directly (invitation already settled)."""
+        if member in self.members:
+            raise SessionError(
+                "{} is already in session {}".format(member, self.name))
+        self.members.append(member)
+        self.counters.incr("joins")
+        self.awareness.publish(member, self.name, ACTION_JOIN)
+
+    def leave(self, member: str) -> None:
+        """Remove a member."""
+        if member not in self.members:
+            raise SessionError(
+                "{} is not in session {}".format(member, self.name))
+        self.members.remove(member)
+        self.counters.incr("leaves")
+        if self.floor is not None and self.floor.holds(member):
+            self.floor.release(member)
+        self.awareness.publish(member, self.name, ACTION_LEAVE)
+
+    def switch_mode(self, time_mode: Optional[str] = None,
+                    place_mode: Optional[str] = None) -> Tuple[str, str]:
+        """Seamlessly transition across the space-time matrix.
+
+        Membership, artefacts, awareness history and floor state are all
+        preserved — only the interaction mode changes.  Returns the new
+        quadrant.
+        """
+        before = "{}/{}".format(self.time_mode, self.place_mode)
+        if time_mode is not None:
+            if time_mode not in (SYNCHRONOUS, ASYNCHRONOUS):
+                raise SessionError("unknown time mode: " + time_mode)
+            self.time_mode = time_mode
+        if place_mode is not None:
+            if place_mode not in (CO_LOCATED, REMOTE):
+                raise SessionError("unknown place mode: " + place_mode)
+            self.place_mode = place_mode
+        after = "{}/{}".format(self.time_mode, self.place_mode)
+        self.transitions.append((self.env.now, before, after))
+        self.counters.incr("transitions")
+        return self.quadrant
+
+    def state_snapshot(self) -> Dict[str, Any]:
+        """Everything a late joiner needs (the state-transfer payload)."""
+        return {
+            "artefacts": self.store.snapshot(),
+            "members": list(self.members),
+            "quadrant": self.quadrant,
+        }
+
+    def __repr__(self) -> str:
+        return "<Session {} {} members={}>".format(
+            self.name, self.quadrant, len(self.members))
+
+
+ACCEPT = "accept"
+DECLINE = "decline"
+TIMEOUT = "timeout"
+
+
+class InvitationService:
+    """Invite/accept/decline with late-join state transfer."""
+
+    def __init__(self, env: Environment,
+                 state_transfer_rate: float = 1e6) -> None:
+        if state_transfer_rate <= 0:
+            raise SessionError("state_transfer_rate must be positive")
+        self.env = env
+        self.state_transfer_rate = state_transfer_rate
+        self._responders: Dict[str, Callable[[str, Session], bool]] = {}
+        self.counters = Counter()
+
+    def on_invite(self, member: str,
+                  responder: Callable[[str, Session], bool]) -> None:
+        """How ``member`` answers invitations: True accept, False decline."""
+        self._responders[member] = responder
+
+    def invite(self, session: Session, inviter: str, member: str,
+               deadline: float = 10.0,
+               state_size: int = 0) -> Event:
+        """Invite ``member``; fires with accept/decline/timeout.
+
+        On acceptance the member joins after a state transfer of
+        ``state_size`` bytes at the configured rate (late-join cost).
+        """
+        if inviter not in session.members:
+            raise SessionError(
+                "inviter {} is not in the session".format(inviter))
+        event = self.env.event()
+        self.counters.incr("invitations")
+        self.env.process(
+            self._run(session, member, deadline, state_size, event))
+        return event
+
+    def _run(self, session: Session, member: str, deadline: float,
+             state_size: int, event: Event):
+        responder = self._responders.get(member)
+        if responder is None:
+            yield self.env.timeout(deadline)
+            self.counters.incr("timeouts")
+            event.succeed(TIMEOUT)
+            return
+        # A human answer takes some fraction of the deadline.
+        yield self.env.timeout(min(1.0, deadline / 2))
+        if not responder(member, session):
+            self.counters.incr("declines")
+            event.succeed(DECLINE)
+            return
+        if state_size > 0:
+            yield self.env.timeout(
+                state_size * 8.0 / self.state_transfer_rate)
+        session.join(member)
+        self.counters.incr("accepts")
+        event.succeed(ACCEPT)

@@ -1,0 +1,97 @@
+"""Telepointers: shared cursors for synchronous sessions (§3.2.2).
+
+Desktop-conferencing systems (MMConf, SharedX) showed every participant
+where their colleagues were pointing — the cheapest and most effective
+awareness widget in synchronous work.  A :class:`TelepointerService`
+tracks each member's pointer on a shared surface and fans movements out
+to the other members with a configurable update rate (real systems
+throttle pointer traffic hard).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import SessionError
+from repro.sim import Counter, Environment
+
+
+class TelepointerService:
+    """Per-member pointers on one shared surface."""
+
+    def __init__(self, env: Environment, update_interval: float = 0.1,
+                 latency: float = 0.02) -> None:
+        if update_interval < 0 or latency < 0:
+            raise SessionError(
+                "update_interval and latency must be non-negative")
+        self.env = env
+        self.update_interval = update_interval
+        self.latency = latency
+        #: member -> (x, y) as last *published* to colleagues.
+        self.published: Dict[str, Tuple[float, float]] = {}
+        self._current: Dict[str, Tuple[float, float]] = {}
+        self._dirty: Dict[str, bool] = {}
+        self._watchers: Dict[str, List[Callable[[str, float, float],
+                                                None]]] = {}
+        self.counters = Counter()
+        self._members: List[str] = []
+
+    def join(self, member: str,
+             on_move: Optional[Callable[[str, float, float],
+                                        None]] = None) -> None:
+        """Add a member's pointer (optionally with a move callback)."""
+        if member in self._members:
+            raise SessionError("{} already joined".format(member))
+        self._members.append(member)
+        self._current[member] = (0.0, 0.0)
+        self._dirty[member] = False
+        if on_move is not None:
+            self.watch(member, on_move)
+        self.env.process(self._publisher(member))
+
+    def watch(self, member: str,
+              callback: Callable[[str, float, float], None]) -> None:
+        """``member`` receives colleagues' pointer movements."""
+        self._watchers.setdefault(member, []).append(callback)
+
+    def move(self, member: str, x: float, y: float) -> None:
+        """A member moves their pointer (throttled before publishing)."""
+        if member not in self._members:
+            raise SessionError("{} has not joined".format(member))
+        self._current[member] = (x, y)
+        self._dirty[member] = True
+        self.counters.incr("moves")
+
+    def position_of(self, member: str) -> Tuple[float, float]:
+        """The member's last published position."""
+        if member not in self._members:
+            raise SessionError("{} has not joined".format(member))
+        return self.published.get(member, (0.0, 0.0))
+
+    # -- internals -------------------------------------------------------------
+
+    def _publisher(self, member: str):
+        """Throttle: publish at most one update per interval."""
+        while member in self._members:
+            if self._dirty.get(member):
+                self._dirty[member] = False
+                position = self._current[member]
+                self.counters.incr("updates_published")
+                self.env.process(self._deliver(member, position))
+            if self.update_interval > 0:
+                yield self.env.timeout(self.update_interval)
+            else:
+                # Unthrottled mode publishes on a minimal tick.
+                yield self.env.timeout(1e-6)
+
+    def _deliver(self, member: str, position: Tuple[float, float]):
+        if self.latency > 0:
+            yield self.env.timeout(self.latency)
+        self.published[member] = position
+        x, y = position
+        for viewer, callbacks in self._watchers.items():
+            if viewer == member:
+                continue
+            for callback in callbacks:
+                self.counters.incr("deliveries")
+                callback(member, x, y)

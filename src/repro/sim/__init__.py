@@ -1,0 +1,63 @@
+"""Discrete-event simulation kernel underpinning the repro middleware.
+
+The kernel provides the same generator-coroutine model popularised by SimPy:
+an :class:`Environment` owns the clock and event queue; *processes* are
+generators that yield :class:`Event` objects and resume when they fire.
+
+>>> from repro.sim import Environment
+>>> env = Environment()
+>>> def hello(env):
+...     yield env.timeout(3.0)
+...     return env.now
+>>> proc = env.process(hello(env))
+>>> env.run(proc)
+3.0
+"""
+
+from repro.sim.environment import Environment, drive
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+from repro.sim.monitor import Counter, Tally, TimeSeries, histogram
+from repro.sim.resources import (
+    Container,
+    PriorityResource,
+    Resource,
+    Store,
+)
+from repro.sim.rng import (
+    RandomStreams,
+    bounded_normal,
+    exponential,
+    weighted_choice,
+    zipf_index,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Counter",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "PriorityResource",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "Store",
+    "Tally",
+    "TimeSeries",
+    "Timeout",
+    "bounded_normal",
+    "drive",
+    "exponential",
+    "histogram",
+    "weighted_choice",
+    "zipf_index",
+]

@@ -1,0 +1,160 @@
+"""The simulation environment: clock, event queue and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    NORMAL,
+    Process,
+    Timeout,
+)
+
+Infinity = float("inf")
+
+
+class EmptySchedule(SimulationError):
+    """Raised internally when the event queue runs dry."""
+
+
+class StopSimulation(Exception):
+    """Raised to end :meth:`Environment.run` when its until-event fires."""
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    All simulated activity in the repro library — network packets, user
+    think-times, stream frames, lock waits — is driven by one environment.
+    Time is a float in seconds and only advances through :meth:`run`.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being advanced, if any."""
+        return self._active_process
+
+    # -- event factories --------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator) -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator)
+
+    def all_of(self, events) -> AllOf:
+        """An event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """An event that fires when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(self, event: Event, priority: int = NORMAL,
+                 delay: float = 0.0) -> None:
+        """Queue ``event`` to fire ``delay`` seconds from now."""
+        self._eid += 1
+        heapq.heappush(self._queue,
+                       (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or infinity if none."""
+        if not self._queue:
+            return Infinity
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process the single next event, advancing the clock to it."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no more events")
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not event.defused:
+            raise event._exception
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the queue is empty), a number
+        (run until that simulated time) or an :class:`Event` (run until it
+        fires, returning its value).
+        """
+        until_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                until_event = until
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise SimulationError(
+                        "until ({}) is in the past (now={})".format(
+                            at, self._now))
+                until_event = Event(self)
+                until_event._ok = True
+                until_event._value = None
+                self.schedule(until_event, priority=0, delay=at - self._now)
+            if until_event.callbacks is None:
+                # The event has already been processed; nothing to run.
+                return until_event.value if until_event.ok else None
+            until_event.callbacks.append(_stop_simulation)
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            return stop.args[0].value if stop.args[0]._ok else None
+        except EmptySchedule:
+            if until_event is not None and not until_event.triggered:
+                raise SimulationError(
+                    "simulation ran out of events before 'until' fired")
+            return None
+
+    # -- convenience -------------------------------------------------------
+
+    def run_all(self, limit: float = 1e9) -> None:
+        """Drain the queue, guarding against runaway simulations."""
+        while self._queue and self.peek() <= limit:
+            self.step()
+
+
+def _stop_simulation(event: Event) -> None:
+    raise StopSimulation(event)
+
+
+def drive(root_factory, until: Any = None) -> Any:
+    """Run a fresh environment around a single root process.
+
+    ``root_factory`` is called with the new environment and must return a
+    generator, which becomes the root process.  Returns that process's
+    return value (or ``None`` if ``until`` cut the run short).
+    """
+    env = Environment()
+    proc = env.process(root_factory(env))
+    env.run(proc if until is None else until)
+    return proc.value if proc.triggered and proc.ok else None

@@ -1,0 +1,183 @@
+"""Measurement probes: tallies, time series and time-weighted averages.
+
+Benchmarks and tests use these to turn simulated activity into the summary
+statistics recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class Tally:
+    """Accumulates scalar observations and reports summary statistics."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.values: List[float] = []
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        if not self.values:
+            return 0.0
+        return sum(self.values) / len(self.values)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation (0.0 with <2 observations)."""
+        n = len(self.values)
+        if n < 2:
+            return 0.0
+        mean = self.mean
+        return math.sqrt(sum((v - mean) ** 2 for v in self.values) / n)
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0..100) by linear interpolation."""
+        if not self.values:
+            return 0.0
+        if not 0 <= q <= 100:
+            raise ValueError("q must be in [0, 100]")
+        ordered = sorted(self.values)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return ordered[low]
+        frac = rank - low
+        return ordered[low] * (1 - frac) + ordered[high] * frac
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def summary(self) -> Dict[str, float]:
+        """All headline statistics as a dict (for table printing)."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "median": self.median,
+            "p95": self.p95,
+            "stddev": self.stddev,
+        }
+
+    def __repr__(self) -> str:
+        return "<Tally {} n={} mean={:.6g}>".format(
+            self.name or "?", self.count, self.mean)
+
+
+class Counter:
+    """A set of named monotonically increasing counters."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def incr(self, key: str, by: int = 1) -> None:
+        """Increase ``key`` by ``by`` (creating it at zero)."""
+        self._counts[key] = self._counts.get(key, 0) + by
+
+    def __getitem__(self, key: str) -> int:
+        return self._counts.get(key, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot of all counters."""
+        return dict(self._counts)
+
+
+class TimeSeries:
+    """(time, value) samples, e.g. queue length or skew over time."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.samples: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append one sample; times must be non-decreasing."""
+        if self.samples and time < self.samples[-1][0]:
+            raise ValueError("time went backwards in series " + self.name)
+        self.samples.append((float(time), float(value)))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def values(self) -> List[float]:
+        """Just the sampled values, in time order."""
+        return [v for _, v in self.samples]
+
+    def time_weighted_mean(self, until: Optional[float] = None) -> float:
+        """Mean of the step function defined by the samples."""
+        if not self.samples:
+            return 0.0
+        end = until if until is not None else self.samples[-1][0]
+        area = 0.0
+        for (t0, v0), (t1, _) in zip(self.samples, self.samples[1:]):
+            area += v0 * (t1 - t0)
+        last_t, last_v = self.samples[-1]
+        if end > last_t:
+            area += last_v * (end - last_t)
+        span = end - self.samples[0][0]
+        if span <= 0:
+            return self.samples[-1][1]
+        return area / span
+
+    def max(self) -> float:
+        return max(self.values()) if self.samples else 0.0
+
+
+def histogram(values: Sequence[float], bins: int = 10,
+              low: Optional[float] = None,
+              high: Optional[float] = None) -> List[Tuple[float, float, int]]:
+    """Bin ``values`` into (lo, hi, count) triples for plain-text display."""
+    if bins <= 0:
+        raise ValueError("bins must be positive")
+    if not values:
+        return []
+    lo = min(values) if low is None else low
+    hi = max(values) if high is None else high
+    if hi <= lo:
+        return [(lo, hi, len(values))]
+    width = (hi - lo) / bins
+    counts = [0] * bins
+    for value in values:
+        index = int((value - lo) / width)
+        if index >= bins:
+            index = bins - 1
+        if index < 0:
+            index = 0
+        counts[index] += 1
+    return [(lo + i * width, lo + (i + 1) * width, counts[i])
+            for i in range(bins)]

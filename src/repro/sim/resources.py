@@ -1,0 +1,272 @@
+"""Shared-resource primitives built on the simulation kernel.
+
+These are the queueing building blocks for the middleware layers: capacity-
+limited :class:`Resource` (e.g. a CPU or a lock), :class:`PriorityResource`
+(with optional preemption via interrupt), :class:`Store` (a producer/consumer
+buffer used for message queues) and :class:`Container` (continuous quantity,
+used e.g. for link bandwidth accounting).
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+from repro.sim.environment import Environment
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`; fires when granted."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.usage_since: Optional[float] = None
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Release the claim (or withdraw the pending request)."""
+        self.resource.release(self)
+
+
+class Resource:
+    """A resource with finite capacity and a FIFO wait queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.users: List[Request] = []
+        self.queue: List[Request] = []
+
+    @property
+    def count(self) -> int:
+        """Number of requests currently holding the resource."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Claim the resource; the returned event fires when granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> None:
+        """Return the resource (or withdraw a queued request)."""
+        if request in self.users:
+            self.users.remove(request)
+        elif request in self.queue:
+            self.queue.remove(request)
+        self._grant_waiters()
+
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self.capacity:
+            self._grant(request)
+        else:
+            self.queue.append(request)
+
+    def _grant(self, request: Request) -> None:
+        self.users.append(request)
+        request.usage_since = self.env.now
+        request.succeed(request)
+
+    def _grant_waiters(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            self._grant(self.queue.pop(0))
+
+
+_priority_seq = iter(range(1, 1 << 62))
+
+
+class PriorityRequest(Request):
+    """A claim with a priority (lower value = more important).
+
+    Ties break by request creation order, so equal-priority claims are
+    strictly FIFO (deterministic simulation).
+    """
+
+    def __init__(self, resource: "PriorityResource", priority: int) -> None:
+        self.priority = priority
+        self.time = resource.env.now
+        self.seq = next(_priority_seq)
+        super().__init__(resource)
+
+    def __lt__(self, other: "PriorityRequest") -> bool:
+        return (self.priority, self.time, self.seq) < \
+            (other.priority, other.time, other.seq)
+
+
+class PriorityResource(Resource):
+    """A resource whose wait queue is ordered by request priority."""
+
+    def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
+        return PriorityRequest(self, priority)
+
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self.capacity:
+            self._grant(request)
+        else:
+            heappush(self.queue, request)  # type: ignore[arg-type]
+
+    def _grant_waiters(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            self._grant(heappop(self.queue))  # type: ignore[arg-type]
+
+
+class StoreGet(Event):
+    """A pending take from a :class:`Store`; fires with the item."""
+
+    def __init__(self, store: "Store",
+                 filter: Optional[Callable[[Any], bool]] = None) -> None:
+        super().__init__(store.env)
+        self.filter = filter
+        self.store = store
+        store._getters.append(self)
+        store._dispatch()
+
+    def cancel(self) -> None:
+        """Withdraw the pending take."""
+        if self in self.store._getters:
+            self.store._getters.remove(self)
+
+
+class StorePut(Event):
+    """A pending put into a :class:`Store`; fires when accepted."""
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+        self.store = store
+        store._putters.append(self)
+        store._dispatch()
+
+
+class Store:
+    """A FIFO buffer of items with optional capacity.
+
+    ``get`` accepts an optional filter predicate, which turns the store into
+    a ``FilterStore`` (take the first matching item).
+    """
+
+    def __init__(self, env: Environment,
+                 capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self._getters: List[StoreGet] = []
+        self._putters: List[StorePut] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Add ``item``; the returned event fires once there is room."""
+        return StorePut(self, item)
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        """Take the first (matching) item; fires when one is available."""
+        return StoreGet(self, filter)
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Move accepted puts into the buffer.
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.pop(0)
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            # Satisfy getters from the buffer.
+            for getter in list(self._getters):
+                item = self._find(getter)
+                if item is _NOTHING:
+                    continue
+                self.items.remove(item)
+                self._getters.remove(getter)
+                getter.succeed(item)
+                progressed = True
+
+    def _find(self, getter: StoreGet) -> Any:
+        if getter.filter is None:
+            return self.items[0] if self.items else _NOTHING
+        for item in self.items:
+            if getter.filter(item):
+                return item
+        return _NOTHING
+
+
+class _Nothing:
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<nothing>"
+
+
+_NOTHING = _Nothing()
+
+
+class Container:
+    """A continuous quantity with blocking put/get (e.g. buffer space)."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf"),
+                 init: float = 0.0) -> None:
+        if capacity <= 0:
+            raise SimulationError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise SimulationError("init must be within [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: List[Event] = []
+        self._putters: List[Event] = []
+
+    @property
+    def level(self) -> float:
+        """Current quantity held."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; fires once it fits under capacity."""
+        if amount <= 0:
+            raise SimulationError("amount must be positive")
+        event = Event(self.env)
+        event.amount = amount  # type: ignore[attr-defined]
+        self._putters.append(event)
+        self._dispatch()
+        return event
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; fires once that much is available."""
+        if amount <= 0:
+            raise SimulationError("amount must be positive")
+        event = Event(self.env)
+        event.amount = amount  # type: ignore[attr-defined]
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                put = self._putters[0]
+                if self._level + put.amount <= self.capacity:  # type: ignore[attr-defined]
+                    self._putters.pop(0)
+                    self._level += put.amount  # type: ignore[attr-defined]
+                    put.succeed()
+                    progressed = True
+            if self._getters:
+                get = self._getters[0]
+                if self._level >= get.amount:  # type: ignore[attr-defined]
+                    self._getters.pop(0)
+                    self._level -= get.amount  # type: ignore[attr-defined]
+                    get.succeed()
+                    progressed = True

@@ -1,0 +1,184 @@
+"""Virtual rooms: spatial partitioning of cooperative work (§3.3.2).
+
+*"the concept of rooms is used extensively in user interfaces as a means
+of partitioning and organising work... several projects employ a virtual
+meeting room metaphor in computer conferencing systems, providing
+facilities such as personal spaces (offices), shared spaces (meeting
+rooms) and doors to move between such spaces."*
+
+A :class:`VirtualBuilding` holds offices and meeting rooms connected by
+doors.  Doors carry the social protocol: an **open** door admits anyone,
+an **ajar** door requires a knock that the occupants answer, a **closed**
+door refuses entry (do-not-disturb).  Occupancy changes publish awareness
+events, so presence is visible at a glance building-wide.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.awareness.events import AwarenessBus
+from repro.errors import ReproError
+from repro.sim import Counter, Environment, Event
+
+OFFICE = "office"
+MEETING_ROOM = "meeting-room"
+COMMON = "common"
+
+DOOR_OPEN = "open"
+DOOR_AJAR = "ajar"
+DOOR_CLOSED = "closed"
+
+ENTER_GRANTED = "granted"
+ENTER_REFUSED = "refused"
+ENTER_NO_ANSWER = "no-answer"
+
+
+class Room:
+    """One space: an office, a meeting room or a common area."""
+
+    def __init__(self, building: "VirtualBuilding", name: str,
+                 kind: str = MEETING_ROOM,
+                 owner: Optional[str] = None,
+                 capacity: int = 12) -> None:
+        if kind not in (OFFICE, MEETING_ROOM, COMMON):
+            raise ReproError("unknown room kind: " + kind)
+        if capacity < 1:
+            raise ReproError("capacity must be >= 1")
+        self.building = building
+        self.name = name
+        self.kind = kind
+        self.owner = owner
+        self.capacity = capacity
+        self.occupants: List[str] = []
+        self.door_state = DOOR_OPEN if kind != OFFICE else DOOR_AJAR
+        #: How occupants answer knocks: (visitor) -> bool.
+        self.answer_policy: Callable[[str], bool] = lambda visitor: True
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.occupants) >= self.capacity
+
+    def set_door(self, state: str, by: Optional[str] = None) -> None:
+        """Change the door state (occupants or the owner only)."""
+        if state not in (DOOR_OPEN, DOOR_AJAR, DOOR_CLOSED):
+            raise ReproError("unknown door state: " + state)
+        if by is not None and by != self.owner \
+                and by not in self.occupants:
+            raise ReproError(
+                "{} may not change {}'s door".format(by, self.name))
+        self.door_state = state
+        self.building.awareness.publish(
+            by or (self.owner or "building"), self.name,
+            "door-" + state)
+
+    def __repr__(self) -> str:
+        return "<Room {} [{}] door={} occupants={}>".format(
+            self.name, self.kind, self.door_state, len(self.occupants))
+
+
+class VirtualBuilding:
+    """A set of rooms, the people in them, and presence awareness."""
+
+    def __init__(self, env: Environment,
+                 awareness: Optional[AwarenessBus] = None,
+                 knock_timeout: float = 10.0) -> None:
+        if knock_timeout <= 0:
+            raise ReproError("knock_timeout must be positive")
+        self.env = env
+        self.awareness = awareness or AwarenessBus(env)
+        self.knock_timeout = knock_timeout
+        self.rooms: Dict[str, Room] = {}
+        self.whereis: Dict[str, Optional[str]] = {}
+        self.counters = Counter()
+
+    def add_room(self, name: str, kind: str = MEETING_ROOM,
+                 owner: Optional[str] = None,
+                 capacity: int = 12) -> Room:
+        """Create a room in the building."""
+        if name in self.rooms:
+            raise ReproError("room {} already exists".format(name))
+        room = Room(self, name, kind=kind, owner=owner,
+                    capacity=capacity)
+        self.rooms[name] = room
+        return room
+
+    def room(self, name: str) -> Room:
+        try:
+            return self.rooms[name]
+        except KeyError:
+            raise ReproError("no room named {}".format(name))
+
+    def location_of(self, person: str) -> Optional[str]:
+        """Which room ``person`` is in (None = in the corridor)."""
+        return self.whereis.get(person)
+
+    def occupancy(self) -> Dict[str, List[str]]:
+        """Presence at a glance: every room's occupants."""
+        return {name: list(room.occupants)
+                for name, room in self.rooms.items()}
+
+    # -- movement -------------------------------------------------------------
+
+    def enter(self, person: str, room_name: str) -> Event:
+        """Try to enter a room; fires with the outcome string.
+
+        Open doors admit immediately; ajar doors require a knock
+        answered by the room's policy within the knock timeout; closed
+        doors refuse outright.  Entering always leaves the previous room.
+        """
+        room = self.room(room_name)
+        done = self.env.event()
+        self.counters.incr("entries_attempted")
+        if room.is_full or room.door_state == DOOR_CLOSED:
+            self.counters.incr("entries_refused")
+            done.succeed(ENTER_REFUSED)
+            return done
+        if room.door_state == DOOR_OPEN:
+            self._admit(person, room)
+            done.succeed(ENTER_GRANTED)
+            return done
+        self.env.process(self._knock(person, room, done))
+        return done
+
+    def leave(self, person: str) -> None:
+        """Step out into the corridor."""
+        current = self.whereis.get(person)
+        if current is None:
+            return
+        room = self.rooms[current]
+        if person in room.occupants:
+            room.occupants.remove(person)
+        self.whereis[person] = None
+        self.awareness.publish(person, room.name, "leave")
+
+    # -- internals --------------------------------------------------------------
+
+    def _admit(self, person: str, room: Room) -> None:
+        self.leave(person)
+        room.occupants.append(person)
+        self.whereis[person] = room.name
+        self.counters.incr("entries_granted")
+        self.awareness.publish(person, room.name, "enter")
+
+    def _knock(self, person: str, room: Room, done: Event):
+        self.awareness.publish(person, room.name, "knock")
+        self.counters.incr("knocks")
+        # The occupants consider the knock for a social moment.
+        yield self.env.timeout(min(1.0, self.knock_timeout / 2))
+        if room.door_state == DOOR_CLOSED or room.is_full:
+            self.counters.incr("entries_refused")
+            done.succeed(ENTER_REFUSED)
+            return
+        if not room.occupants and room.kind == OFFICE:
+            # Nobody home: the knock goes unanswered.
+            yield self.env.timeout(self.knock_timeout / 2)
+            self.counters.incr("unanswered_knocks")
+            done.succeed(ENTER_NO_ANSWER)
+            return
+        if room.answer_policy(person):
+            self._admit(person, room)
+            done.succeed(ENTER_GRANTED)
+        else:
+            self.counters.incr("entries_refused")
+            done.succeed(ENTER_REFUSED)

@@ -1,0 +1,140 @@
+"""A DIVE-style shared virtual environment (§3.3.2).
+
+*"DIVE ... features a spatial model for cooperation in large unbounded
+space"* — users are embodied as entities with aura/focus/nimbus; moving
+through the space changes who can perceive (and therefore talk to) whom.
+The environment:
+
+* embodies users and drives their movement as simulation processes;
+* periodically evaluates the spatial model and **opens an audio
+  connection whenever two users become mutually (fully) aware**, closing
+  it when awareness lapses — interaction management *by position*, not
+  by explicit calls (Benford & Fahlén's point);
+* scopes utterances: ``say`` reaches exactly the users currently aware
+  of the speaker, at their awareness weight (volume).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.awareness.spatial import Entity, FULL, SharedSpace
+from repro.errors import ReproError
+from repro.sim import Counter, Environment
+
+
+class Utterance:
+    """One scoped utterance: who heard it, and how loudly."""
+
+    __slots__ = ("speaker", "text", "at", "heard_by")
+
+    def __init__(self, speaker: str, text: str, at: float,
+                 heard_by: Dict[str, float]) -> None:
+        self.speaker = speaker
+        self.text = text
+        self.at = at
+        self.heard_by = heard_by
+
+    def __repr__(self) -> str:
+        return "<Utterance {} heard_by={}>".format(
+            self.speaker, sorted(self.heard_by))
+
+
+class VirtualEnvironment:
+    """Embodied users in a shared space with awareness-driven audio."""
+
+    def __init__(self, env: Environment,
+                 space: Optional[SharedSpace] = None,
+                 check_interval: float = 0.5) -> None:
+        if check_interval <= 0:
+            raise ReproError("check_interval must be positive")
+        self.env = env
+        self.space = space or SharedSpace("dive")
+        self.check_interval = check_interval
+        #: Live audio pairs: frozenset({a, b}).
+        self.audio_links: Dict[FrozenSet[str], float] = {}
+        #: (opened_at, closed_at, pair) history.
+        self.link_history: List[Tuple[float, float, FrozenSet[str]]] = []
+        self.utterances: List[Utterance] = []
+        self.counters = Counter()
+        self._running = True
+        self.process = env.process(self._run())
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -- embodiment and movement --------------------------------------------------
+
+    def embody(self, user: str, x: float = 0.0, y: float = 0.0,
+               aura: float = 30.0, focus: float = 10.0,
+               nimbus: float = 10.0) -> Entity:
+        """Place a user's embodiment in the space."""
+        return self.space.add(Entity(user, x, y, aura=aura,
+                                     focus=focus, nimbus=nimbus))
+
+    def walk(self, user: str, to_x: float, to_y: float,
+             speed: float = 2.0):
+        """A movement process: returns the process (yieldable)."""
+        if speed <= 0:
+            raise ReproError("speed must be positive")
+        entity = self.space.entity(user)
+        return self.env.process(self._walk(entity, to_x, to_y, speed))
+
+    def _walk(self, entity: Entity, to_x: float, to_y: float,
+              speed: float):
+        step_time = self.check_interval / 2
+        while True:
+            dx = to_x - entity.x
+            dy = to_y - entity.y
+            distance = math.hypot(dx, dy)
+            step = speed * step_time
+            if distance <= step:
+                entity.move_to(to_x, to_y)
+                return
+            entity.move_by(dx / distance * step, dy / distance * step)
+            yield self.env.timeout(step_time)
+
+    # -- scoped speech -------------------------------------------------------------
+
+    def say(self, user: str, text: str) -> Utterance:
+        """Speak: heard by exactly the users currently aware of you."""
+        speaker = self.space.entity(user)
+        heard: Dict[str, float] = {}
+        for listener in self.space.entities():
+            if listener is speaker:
+                continue
+            weight = self.space.awareness_weight(listener, speaker)
+            if weight > 0:
+                heard[listener.name] = weight
+        utterance = Utterance(user, text, self.env.now, heard)
+        self.utterances.append(utterance)
+        self.counters.incr("utterances")
+        return utterance
+
+    # -- audio connection management --------------------------------------------------
+
+    def connected(self, a: str, b: str) -> bool:
+        """Is there a live audio link between the two users?"""
+        return frozenset((a, b)) in self.audio_links
+
+    def _run(self):
+        while self._running:
+            yield self.env.timeout(self.check_interval)
+            self._evaluate()
+
+    def _evaluate(self) -> None:
+        entities = self.space.entities()
+        should_exist = set()
+        for i, a in enumerate(entities):
+            for b in entities[i + 1:]:
+                if self.space.awareness_level(a, b) == FULL \
+                        and self.space.awareness_level(b, a) == FULL:
+                    should_exist.add(frozenset((a.name, b.name)))
+        for pair in should_exist - set(self.audio_links):
+            self.audio_links[pair] = self.env.now
+            self.counters.incr("links_opened")
+        for pair in set(self.audio_links) - should_exist:
+            opened_at = self.audio_links.pop(pair)
+            self.link_history.append((opened_at, self.env.now, pair))
+            self.counters.incr("links_closed")

@@ -1,0 +1,53 @@
+"""Continuous media: frames, sources/sinks, bindings, synchronisation."""
+
+from repro.streams.binding import (
+    GroupStreamBinding,
+    STREAM_PORT,
+    StreamBinding,
+)
+from repro.streams.interfaces import (
+    AUDIO,
+    CONSUMER,
+    DATA,
+    MEDIA_TYPES,
+    PRODUCER,
+    StreamInterface,
+    VIDEO,
+    bind_interfaces,
+    check_compatibility,
+)
+from repro.streams.media import (
+    ARRIVAL,
+    DEADLINE,
+    Frame,
+    MediaSink,
+    MediaSource,
+)
+from repro.streams.sync import (
+    ContinuousSynchroniser,
+    EventSynchroniser,
+    measure_drift,
+)
+
+__all__ = [
+    "ARRIVAL",
+    "AUDIO",
+    "CONSUMER",
+    "DATA",
+    "MEDIA_TYPES",
+    "PRODUCER",
+    "StreamInterface",
+    "VIDEO",
+    "bind_interfaces",
+    "check_compatibility",
+    "ContinuousSynchroniser",
+    "DEADLINE",
+    "EventSynchroniser",
+    "Frame",
+    "GroupStreamBinding",
+    "MediaSink",
+    "MediaSource",
+    "STREAM_PORT",
+    "StreamBinding",
+    "measure_drift",
+]

@@ -1,0 +1,118 @@
+"""Stream interfaces with QoS annotations and compatibility checking.
+
+§4.2.2: *"The draft standards also include text on quality of service
+annotations of interfaces... further research is needed to identify
+approaches for the expression of quality of service properties and
+compatibility checking between these properties."*
+
+A :class:`StreamInterface` declares a direction (producer/consumer), a
+media type and a QoS annotation: producers state what they **offer**,
+consumers state what they **require**.  :func:`check_compatibility`
+verifies a proposed binding; :func:`bind_interfaces` performs the checked
+bind, reserves the flow with the QoS broker when one is supplied, and
+returns a live :class:`~repro.streams.binding.StreamBinding`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import BindingError, QoSNegotiationFailed
+from repro.net.network import Network
+from repro.qos.broker import QoSBroker
+from repro.qos.params import QoSParameters
+from repro.streams.binding import StreamBinding
+
+PRODUCER = "producer"
+CONSUMER = "consumer"
+
+AUDIO = "audio"
+VIDEO = "video"
+DATA = "data"
+
+MEDIA_TYPES = (AUDIO, VIDEO, DATA)
+
+
+class StreamInterface:
+    """A typed, QoS-annotated stream endpoint on a node."""
+
+    def __init__(self, name: str, node: str, direction: str,
+                 media_type: str, qos: QoSParameters) -> None:
+        if direction not in (PRODUCER, CONSUMER):
+            raise BindingError("unknown direction: " + direction)
+        if media_type not in MEDIA_TYPES:
+            raise BindingError("unknown media type: " + media_type)
+        self.name = name
+        self.node = node
+        self.direction = direction
+        self.media_type = media_type
+        #: Producer: the level offered.  Consumer: the level required.
+        self.qos = qos
+
+    def __repr__(self) -> str:
+        return "<StreamInterface {} {} {} at {}>".format(
+            self.name, self.direction, self.media_type, self.node)
+
+
+def check_compatibility(producer: StreamInterface,
+                        consumer: StreamInterface) -> List[str]:
+    """All reasons the proposed binding is ill-formed (empty = OK).
+
+    Checks: direction pairing, media-type agreement, and QoS
+    compatibility (the offered level must satisfy the required level on
+    every axis).
+    """
+    problems: List[str] = []
+    if producer.direction != PRODUCER:
+        problems.append("{} is not a producer".format(producer.name))
+    if consumer.direction != CONSUMER:
+        problems.append("{} is not a consumer".format(consumer.name))
+    if producer.media_type != consumer.media_type:
+        problems.append(
+            "media types differ: {} vs {}".format(
+                producer.media_type, consumer.media_type))
+    if problems:
+        return problems
+    required = consumer.qos
+    offered = producer.qos
+    if offered.throughput < required.throughput:
+        problems.append(
+            "offered throughput {:.3g} < required {:.3g}".format(
+                offered.throughput, required.throughput))
+    if offered.latency > required.latency:
+        problems.append(
+            "offered latency {:.3g} > required {:.3g}".format(
+                offered.latency, required.latency))
+    if offered.jitter > required.jitter:
+        problems.append(
+            "offered jitter {:.3g} > required {:.3g}".format(
+                offered.jitter, required.jitter))
+    if offered.loss > required.loss:
+        problems.append(
+            "offered loss {:.3g} > required {:.3g}".format(
+                offered.loss, required.loss))
+    return problems
+
+
+def bind_interfaces(network: Network, producer: StreamInterface,
+                    consumer: StreamInterface,
+                    broker: Optional[QoSBroker] = None,
+                    port: int = 45) -> StreamBinding:
+    """Create a checked (and, with a broker, admitted) stream binding.
+
+    Raises :class:`BindingError` on any incompatibility, and propagates
+    :class:`QoSNegotiationFailed` when the broker cannot carry the
+    consumer's required level.
+    """
+    problems = check_compatibility(producer, consumer)
+    if problems:
+        raise BindingError(
+            "cannot bind {} -> {}: {}".format(
+                producer.name, consumer.name, "; ".join(problems)))
+    contract = None
+    monitor = None
+    if broker is not None:
+        contract = broker.negotiate(producer.node, consumer.node,
+                                    consumer.qos)
+    return StreamBinding(network, producer.node, consumer.node,
+                         port=port, contract=contract, monitor=monitor)

@@ -1,0 +1,51 @@
+"""CSCW toolkits (§3.3.1): rapid construction of cooperative applications.
+
+*"a growing focus of research has been in the development of toolkits
+which allow the rapid construction of applications"* — two of the cited
+architectures, reproduced:
+
+* :mod:`~repro.toolkit.oval` — OVAL's objects / views / agents / links,
+  the radically tailorable end-user composition model;
+* :mod:`~repro.toolkit.alv` — Rendezvous' Abstraction-Link-View split
+  for multi-user interfaces with relaxed WYSIWIS and private view state.
+"""
+
+from repro.toolkit.alv import (
+    MultiUserApplication,
+    SharedAbstraction,
+    UserView,
+    ViewLink,
+    identity_render,
+)
+from repro.toolkit.oval import (
+    Agent,
+    ON_ARRIVAL,
+    ON_CHANGE,
+    ON_CREATE,
+    OvalObject,
+    OvalSystem,
+    Workspace,
+    arrived_kind,
+    file_into,
+    forward_to,
+    kind_is,
+)
+
+__all__ = [
+    "Agent",
+    "MultiUserApplication",
+    "ON_ARRIVAL",
+    "ON_CHANGE",
+    "ON_CREATE",
+    "OvalObject",
+    "OvalSystem",
+    "SharedAbstraction",
+    "UserView",
+    "ViewLink",
+    "Workspace",
+    "arrived_kind",
+    "file_into",
+    "forward_to",
+    "identity_render",
+    "kind_is",
+]

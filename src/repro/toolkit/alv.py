@@ -1,0 +1,160 @@
+"""Rendezvous-style ALV architecture for multi-user interfaces (§3.3.1).
+
+Patterson et al.'s Rendezvous separated a multi-user application into a
+shared **Abstraction**, per-user **Views**, and the **Links** (declarative
+constraints) connecting them.  One abstraction, many simultaneous views —
+each user's presentation can differ (relaxed WYSIWIS) and carries private
+state (selection, scroll position) that is *not* shared.
+
+:class:`SharedAbstraction` holds the application state; a
+:class:`ViewLink` maps abstraction values into a user's presentation and
+maps user input back; a :class:`UserView` combines a set of links with
+private local state.  Changing the abstraction re-renders every attached
+view automatically — the constraint-maintenance the toolkit provided.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+Render = Callable[[Any, Dict[str, Any]], Any]
+Accept = Callable[[Any, Any], Any]
+
+
+def identity_render(value: Any, local: Dict[str, Any]) -> Any:
+    """The WYSIWIS default: present the abstraction value unchanged."""
+    return value
+
+
+class SharedAbstraction:
+    """The single underlying application state all users share."""
+
+    def __init__(self, name: str = "abstraction") -> None:
+        self.name = name
+        self._state: Dict[str, Any] = {}
+        self._views: List["UserView"] = []
+        self.changes = 0
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._state.get(key, default)
+
+    def keys(self) -> List[str]:
+        return sorted(self._state)
+
+    def set(self, user: str, key: str, value: Any) -> None:
+        """Change shared state; every attached view re-renders."""
+        self._state[key] = value
+        self.changes += 1
+        for view in self._views:
+            view._refresh(key)
+
+    def _attach(self, view: "UserView") -> None:
+        self._views.append(view)
+        for key in self._state:
+            view._refresh(key)
+
+    def _detach(self, view: "UserView") -> None:
+        if view in self._views:
+            self._views.remove(view)
+
+
+class ViewLink:
+    """A constraint between one abstraction key and its presentation.
+
+    ``render(value, local_state)`` computes the user-facing presentation;
+    ``accept(presented_input, current_value)`` maps a user's input back
+    to a new abstraction value (None = the view is read-only).
+    """
+
+    def __init__(self, key: str, render: Optional[Render] = None,
+                 accept: Optional[Accept] = None) -> None:
+        self.key = key
+        self.render = render or identity_render
+        self.accept = accept
+
+
+class UserView:
+    """One user's live presentation of the shared abstraction."""
+
+    def __init__(self, abstraction: SharedAbstraction, user: str,
+                 links: Optional[List[ViewLink]] = None) -> None:
+        self.abstraction = abstraction
+        self.user = user
+        self._links: Dict[str, ViewLink] = {}
+        #: Private, unshared state: selection, scroll position, colour
+        #: preferences — Rendezvous kept these strictly per-user.
+        self.local: Dict[str, Any] = {}
+        self.presented: Dict[str, Any] = {}
+        self.render_count = 0
+        for link in links or []:
+            self.add_link(link)
+        abstraction._attach(self)
+
+    def add_link(self, link: ViewLink) -> None:
+        """Connect (or replace) the link for one abstraction key."""
+        self._links[link.key] = link
+        if link.key in self.abstraction.keys():
+            self._refresh(link.key)
+
+    def set_local(self, key: str, value: Any) -> None:
+        """Change private view state and re-render affected keys."""
+        self.local[key] = value
+        for key_ in list(self._links):
+            self._refresh(key_)
+
+    def input(self, key: str, presented_value: Any) -> None:
+        """User input through the view, mapped back to the abstraction."""
+        link = self._links.get(key)
+        if link is None or link.accept is None:
+            raise ReproError(
+                "view of {} has no editable link for {}".format(
+                    self.user, key))
+        new_value = link.accept(presented_value,
+                                self.abstraction.get(key))
+        self.abstraction.set(self.user, key, new_value)
+
+    def close(self) -> None:
+        """Detach from the abstraction (the user leaves)."""
+        self.abstraction._detach(self)
+
+    # -- internals --------------------------------------------------------------
+
+    def _refresh(self, key: str) -> None:
+        link = self._links.get(key)
+        if link is None:
+            return
+        self.presented[key] = link.render(self.abstraction.get(key),
+                                          self.local)
+        self.render_count += 1
+
+
+class MultiUserApplication:
+    """Rapid-construction scaffold: one abstraction, a view per user."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.abstraction = SharedAbstraction(name)
+        self.views: Dict[str, UserView] = {}
+        self._default_links: List[ViewLink] = []
+
+    def define_link(self, link: ViewLink) -> None:
+        """A link every joining user's view starts with."""
+        self._default_links.append(link)
+        for view in self.views.values():
+            view.add_link(link)
+
+    def join(self, user: str) -> UserView:
+        """Give a user a live view of the application."""
+        if user in self.views:
+            raise ReproError("{} already joined".format(user))
+        view = UserView(self.abstraction, user,
+                        links=list(self._default_links))
+        self.views[user] = view
+        return view
+
+    def leave(self, user: str) -> None:
+        view = self.views.pop(user, None)
+        if view is not None:
+            view.close()

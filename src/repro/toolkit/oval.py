@@ -1,0 +1,199 @@
+"""OVAL: a radically tailorable tool for cooperative work (§3.3.1).
+
+Malone, Lai & Fry's OVAL built cooperative applications from four user-
+composable primitives — **O**bjects (semi-structured), **V**iews (named
+queries over objects), **A**gents (rules that fire on events) and
+**L**inks (between objects).  End users assembled mail sorters, issue
+trackers and Coordinator-like conversation tools *without programming*.
+
+This module reproduces that composition model: an :class:`OvalSystem`
+hosts per-user :class:`Workspace` objects; objects move between users by
+``send``; agents run automatically on arrival or change events and can
+modify, file or forward objects — the tailoring mechanism.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+_object_ids = itertools.count(1)
+
+ON_ARRIVAL = "arrival"
+ON_CHANGE = "change"
+ON_CREATE = "create"
+
+EVENTS = (ON_ARRIVAL, ON_CHANGE, ON_CREATE)
+
+
+class OvalObject:
+    """A semi-structured object: a kind, fields, and links to others."""
+
+    def __init__(self, kind: str,
+                 fields: Optional[Dict[str, Any]] = None) -> None:
+        self.object_id = "oval-{}".format(next(_object_ids))
+        self.kind = kind
+        self.fields: Dict[str, Any] = dict(fields or {})
+        self.links: List[Tuple[str, "OvalObject"]] = []
+        self.history: List[Tuple[str, str]] = []
+
+    def link(self, relation: str, other: "OvalObject") -> None:
+        """Attach a typed link to another object."""
+        self.links.append((relation, other))
+
+    def linked(self, relation: str) -> List["OvalObject"]:
+        return [obj for rel, obj in self.links if rel == relation]
+
+    def __repr__(self) -> str:
+        return "<OvalObject {} kind={}>".format(self.object_id,
+                                                self.kind)
+
+
+Query = Callable[[OvalObject], bool]
+Trigger = Callable[[OvalObject, str], bool]
+Action = Callable[["Workspace", OvalObject], None]
+
+
+class Agent:
+    """A user-authored rule: when the trigger matches, run the action."""
+
+    def __init__(self, name: str, trigger: Trigger,
+                 action: Action) -> None:
+        self.name = name
+        self.trigger = trigger
+        self.action = action
+        self.fired = 0
+
+    def consider(self, workspace: "Workspace", obj: OvalObject,
+                 event: str) -> bool:
+        if self.trigger(obj, event):
+            self.fired += 1
+            self.action(workspace, obj)
+            return True
+        return False
+
+
+class Workspace:
+    """One user's objects, views and agents."""
+
+    def __init__(self, system: "OvalSystem", user: str) -> None:
+        self.system = system
+        self.user = user
+        self.objects: List[OvalObject] = []
+        self._views: Dict[str, Query] = {"inbox": lambda obj: True}
+        self._agents: List[Agent] = []
+
+    # -- objects ------------------------------------------------------------
+
+    def create(self, kind: str,
+               fields: Optional[Dict[str, Any]] = None) -> OvalObject:
+        """Create an object in this workspace."""
+        obj = OvalObject(kind, fields)
+        obj.history.append((self.user, "created"))
+        self.objects.append(obj)
+        self._dispatch(obj, ON_CREATE)
+        return obj
+
+    def update(self, obj: OvalObject, **field_changes: Any) -> None:
+        """Change fields; agents see a change event."""
+        if obj not in self.objects:
+            raise ReproError(
+                "object {} is not in {}'s workspace".format(
+                    obj.object_id, self.user))
+        obj.fields.update(field_changes)
+        obj.history.append((self.user, "updated"))
+        self._dispatch(obj, ON_CHANGE)
+
+    def send(self, obj: OvalObject, to_user: str) -> None:
+        """Move the object to a colleague's workspace (their agents run)."""
+        if obj not in self.objects:
+            raise ReproError(
+                "object {} is not in {}'s workspace".format(
+                    obj.object_id, self.user))
+        target = self.system.workspace(to_user)
+        self.objects.remove(obj)
+        obj.history.append((self.user, "sent to " + to_user))
+        target.objects.append(obj)
+        target._dispatch(obj, ON_ARRIVAL)
+
+    # -- views ---------------------------------------------------------------
+
+    def define_view(self, name: str, query: Query) -> None:
+        """A named query over the workspace's objects (tailorable)."""
+        self._views[name] = query
+
+    def view(self, name: str) -> List[OvalObject]:
+        """The objects currently matching the named view."""
+        try:
+            query = self._views[name]
+        except KeyError:
+            raise ReproError("no view named {}".format(name))
+        return [obj for obj in self.objects if query(obj)]
+
+    def view_names(self) -> List[str]:
+        return sorted(self._views)
+
+    # -- agents --------------------------------------------------------------
+
+    def add_agent(self, name: str, trigger: Trigger,
+                  action: Action) -> Agent:
+        """Install a rule; returns it for inspection."""
+        agent = Agent(name, trigger, action)
+        self._agents.append(agent)
+        return agent
+
+    def remove_agent(self, name: str) -> None:
+        self._agents = [agent for agent in self._agents
+                        if agent.name != name]
+
+    # -- internals ------------------------------------------------------------
+
+    def _dispatch(self, obj: OvalObject, event: str) -> None:
+        for agent in list(self._agents):
+            if obj not in self.objects:
+                break  # an earlier agent moved it on
+            agent.consider(self, obj, event)
+
+
+class OvalSystem:
+    """The community of workspaces objects travel between."""
+
+    def __init__(self) -> None:
+        self._workspaces: Dict[str, Workspace] = {}
+
+    def workspace(self, user: str) -> Workspace:
+        """Fetch (or create) a user's workspace."""
+        if user not in self._workspaces:
+            self._workspaces[user] = Workspace(self, user)
+        return self._workspaces[user]
+
+    def users(self) -> List[str]:
+        return sorted(self._workspaces)
+
+
+# -- pre-built tailorings (what OVAL's "radical tailorability" produced) --------
+
+def kind_is(kind: str) -> Trigger:
+    """Trigger: the object has the given kind (any event)."""
+    return lambda obj, event: obj.kind == kind
+
+
+def arrived_kind(kind: str) -> Trigger:
+    """Trigger: an object of the given kind just arrived."""
+    return lambda obj, event: event == ON_ARRIVAL and obj.kind == kind
+
+
+def file_into(view_field: str, value: Any) -> Action:
+    """Action: stamp a field (views typically query on it)."""
+    def action(workspace: Workspace, obj: OvalObject) -> None:
+        obj.fields[view_field] = value
+    return action
+
+
+def forward_to(user: str) -> Action:
+    """Action: pass the object on to a colleague."""
+    def action(workspace: Workspace, obj: OvalObject) -> None:
+        workspace.send(obj, user)
+    return action

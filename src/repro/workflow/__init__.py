@@ -1,0 +1,56 @@
+"""Workflow substrates: formal and informal coordination (§3.2.1)."""
+
+from repro.workflow.action_workflow import (
+    ACCEPTANCE,
+    NEGOTIATION,
+    PERFORMANCE,
+    PHASES,
+    PREPARATION,
+    WorkflowLoop,
+)
+from repro.workflow.procedures import (
+    Procedure,
+    ProcedureInstance,
+    STRICT,
+    Step,
+    TOLERANT,
+)
+from repro.workflow.routing import FlexibleRouter, WorkObject
+from repro.workflow.speech_acts import (
+    COMPLETED,
+    CUSTOMER,
+    Conversation,
+    FINAL_STATES,
+    PERFORMER,
+    PROMISED,
+    REPORTED,
+    REQUESTED,
+    TRANSITIONS,
+    run_trace,
+)
+
+__all__ = [
+    "ACCEPTANCE",
+    "COMPLETED",
+    "NEGOTIATION",
+    "PERFORMANCE",
+    "PHASES",
+    "PREPARATION",
+    "WorkflowLoop",
+    "CUSTOMER",
+    "Conversation",
+    "FINAL_STATES",
+    "FlexibleRouter",
+    "PERFORMER",
+    "PROMISED",
+    "Procedure",
+    "ProcedureInstance",
+    "REPORTED",
+    "REQUESTED",
+    "STRICT",
+    "Step",
+    "TOLERANT",
+    "TRANSITIONS",
+    "WorkObject",
+    "run_trace",
+]

@@ -1,0 +1,150 @@
+"""The ActionWorkflow loop (Medina-Mora, Winograd, Flores & Flores).
+
+The paper cites *action-workflow* alongside the Co-ordinator (§3.2.1).
+Where the Co-ordinator exposed raw speech acts, ActionWorkflow structured
+each unit of work as a four-phase **loop** between a customer and a
+performer:
+
+1. **preparation** — the customer formulates the request;
+2. **negotiation** — request and conditions of satisfaction are agreed;
+3. **performance** — the performer does the work;
+4. **acceptance** — the customer declares satisfaction, closing the loop.
+
+Loops compose: a performer may open *sub-loops*, delegating parts of the
+work to others; the parent's performance phase cannot complete until its
+sub-loops have closed.  A business process map is then a tree of loops —
+which this module renders for inspection.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from repro.errors import WorkflowError
+
+PREPARATION = "preparation"
+NEGOTIATION = "negotiation"
+PERFORMANCE = "performance"
+ACCEPTANCE = "acceptance"
+CLOSED = "closed"
+CANCELLED = "cancelled"
+
+PHASES = (PREPARATION, NEGOTIATION, PERFORMANCE, ACCEPTANCE)
+
+_loop_ids = itertools.count(1)
+
+
+class WorkflowLoop:
+    """One customer-performer loop, possibly with delegated sub-loops."""
+
+    def __init__(self, customer: str, performer: str, what: str,
+                 parent: Optional["WorkflowLoop"] = None) -> None:
+        if customer == performer:
+            raise WorkflowError("customer and performer must differ")
+        self.loop_id = "loop-{}".format(next(_loop_ids))
+        self.customer = customer
+        self.performer = performer
+        self.what = what
+        self.parent = parent
+        self.phase = PREPARATION
+        self.conditions_of_satisfaction: Optional[str] = None
+        self.sub_loops: List["WorkflowLoop"] = []
+        self.history: List[str] = [PREPARATION]
+
+    # -- phase transitions -----------------------------------------------------
+
+    def request(self, conditions: str) -> None:
+        """Customer: move from preparation into negotiation."""
+        self._expect(PREPARATION)
+        self.conditions_of_satisfaction = conditions
+        self._advance(NEGOTIATION)
+
+    def agree(self, conditions: Optional[str] = None) -> None:
+        """Both parties settle the conditions; performance begins."""
+        self._expect(NEGOTIATION)
+        if conditions is not None:
+            self.conditions_of_satisfaction = conditions
+        self._advance(PERFORMANCE)
+
+    def delegate(self, sub_performer: str, what: str) -> "WorkflowLoop":
+        """Performer: open a sub-loop for part of the work.
+
+        The performer of this loop is the *customer* of the sub-loop —
+        ActionWorkflow's composition rule.
+        """
+        self._expect(PERFORMANCE)
+        sub = WorkflowLoop(self.performer, sub_performer, what,
+                           parent=self)
+        self.sub_loops.append(sub)
+        return sub
+
+    def declare_complete(self) -> None:
+        """Performer: report the work done; acceptance begins.
+
+        Refused while any sub-loop remains open: delegated work is part
+        of this loop's conditions of satisfaction.
+        """
+        self._expect(PERFORMANCE)
+        open_subs = [sub for sub in self.sub_loops
+                     if sub.phase not in (CLOSED, CANCELLED)]
+        if open_subs:
+            raise WorkflowError(
+                "{} has open sub-loops: {}".format(
+                    self.loop_id,
+                    ", ".join(sub.loop_id for sub in open_subs)))
+        self._advance(ACCEPTANCE)
+
+    def declare_satisfaction(self) -> None:
+        """Customer: the conditions are met; the loop closes."""
+        self._expect(ACCEPTANCE)
+        self._advance(CLOSED)
+
+    def reject(self) -> None:
+        """Customer: the work does not satisfy; back to performance."""
+        self._expect(ACCEPTANCE)
+        self._advance(PERFORMANCE)
+
+    def cancel(self) -> None:
+        """Either party abandons the loop (cascades to open sub-loops)."""
+        if self.phase in (CLOSED, CANCELLED):
+            raise WorkflowError(
+                "{} is already {}".format(self.loop_id, self.phase))
+        for sub in self.sub_loops:
+            if sub.phase not in (CLOSED, CANCELLED):
+                sub.cancel()
+        self._advance(CANCELLED)
+
+    # -- inspection ---------------------------------------------------------------
+
+    @property
+    def is_closed(self) -> bool:
+        return self.phase == CLOSED
+
+    def depth(self) -> int:
+        """Delegation depth below this loop (0 = no sub-loops)."""
+        if not self.sub_loops:
+            return 0
+        return 1 + max(sub.depth() for sub in self.sub_loops)
+
+    def process_map(self, indent: int = 0) -> str:
+        """The business-process map: the tree of loops, one per line."""
+        line = "{}{} [{}] {} -> {}: {}".format(
+            "  " * indent, self.loop_id, self.phase, self.customer,
+            self.performer, self.what)
+        lines = [line]
+        for sub in self.sub_loops:
+            lines.append(sub.process_map(indent + 1))
+        return "\n".join(lines)
+
+    # -- internals -------------------------------------------------------------------
+
+    def _expect(self, phase: str) -> None:
+        if self.phase != phase:
+            raise WorkflowError(
+                "{} is in {}, not {}".format(self.loop_id, self.phase,
+                                             phase))
+
+    def _advance(self, phase: str) -> None:
+        self.phase = phase
+        self.history.append(phase)

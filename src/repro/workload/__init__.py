@@ -1,0 +1,22 @@
+"""Synthetic workloads: the users our experiments substitute for humans.
+
+The paper's claims are about systems under *cooperative* use; these
+generators produce deterministic, seeded traces with the statistical
+structure that matters — think times, edit spans, hot-spot locality and
+session churn — so every experiment is reproducible from its seed.
+"""
+
+from repro.workload.editing import (
+    EditEvent,
+    EditingWorkload,
+    conflict_rate,
+)
+from repro.workload.sessions import ChurnEvent, SessionChurn
+
+__all__ = [
+    "ChurnEvent",
+    "EditEvent",
+    "EditingWorkload",
+    "SessionChurn",
+    "conflict_rate",
+]

@@ -1,0 +1,71 @@
+"""Session-churn workload: members joining and leaving over time."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ReproError
+from repro.sim import RandomStreams, exponential
+
+
+class ChurnEvent:
+    """One membership change."""
+
+    __slots__ = ("at", "user", "kind")
+
+    def __init__(self, at: float, user: str, kind: str) -> None:
+        self.at = at
+        self.user = user
+        self.kind = kind  # "join" | "leave"
+
+    def __repr__(self) -> str:
+        return "<ChurnEvent {} {} @{:.2f}>".format(
+            self.kind, self.user, self.at)
+
+
+class SessionChurn:
+    """Each user alternates presence and absence, exponentially timed."""
+
+    def __init__(self, users: Sequence[str],
+                 mean_present: float = 120.0, mean_absent: float = 60.0,
+                 duration: float = 600.0, seed: int = 0) -> None:
+        if not users:
+            raise ReproError("churn needs at least one user")
+        if mean_present <= 0 or mean_absent <= 0 or duration <= 0:
+            raise ReproError("invalid churn parameters")
+        self.users = list(users)
+        self.mean_present = mean_present
+        self.mean_absent = mean_absent
+        self.duration = duration
+        self.seed = seed
+
+    def generate(self) -> List[ChurnEvent]:
+        """A time-ordered join/leave trace (everyone joins at t=0)."""
+        streams = RandomStreams(self.seed)
+        events: List[ChurnEvent] = []
+        for user in self.users:
+            rng = streams.stream("churn-" + user)
+            at = 0.0
+            present = False
+            while at < self.duration:
+                if present:
+                    events.append(ChurnEvent(at, user, "leave"))
+                    at += exponential(rng, self.mean_absent)
+                else:
+                    events.append(ChurnEvent(at, user, "join"))
+                    at += exponential(rng, self.mean_present)
+                present = not present
+        events.sort(key=lambda event: (event.at, event.user))
+        return events
+
+    def presence_at(self, at: float) -> List[str]:
+        """Who is present at time ``at`` under the generated trace."""
+        present = set()
+        for event in self.generate():
+            if event.at > at:
+                break
+            if event.kind == "join":
+                present.add(event.user)
+            else:
+                present.discard(event.user)
+        return sorted(present)

@@ -1,0 +1,123 @@
+"""Tests for awareness events, the bus and workspace adaptation."""
+
+import pytest
+
+from repro.awareness import (
+    ACTION_EDIT,
+    AwarenessBus,
+    WorkspaceAwareness,
+    accept_all,
+)
+from repro.concurrency import SharedStore
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def test_publish_reaches_subscriber(env):
+    bus = AwarenessBus(env)
+    seen = []
+    bus.subscribe("bob", seen.append)
+    bus.publish("alice", "doc", ACTION_EDIT)
+    assert len(seen) == 1
+    assert seen[0].actor == "alice"
+    assert seen[0].artefact == "doc"
+
+
+def test_own_actions_filtered_by_default(env):
+    bus = AwarenessBus(env)
+    seen = []
+    bus.subscribe("alice", seen.append)
+    bus.publish("alice", "doc", ACTION_EDIT)
+    assert seen == []
+
+
+def test_accept_all_filter_includes_own(env):
+    bus = AwarenessBus(env)
+    seen = []
+    bus.subscribe("alice", seen.append, event_filter=accept_all)
+    bus.publish("alice", "doc", ACTION_EDIT)
+    assert len(seen) == 1
+
+
+def test_unsubscribe_stops_delivery(env):
+    bus = AwarenessBus(env)
+    seen = []
+    bus.subscribe("bob", seen.append)
+    bus.unsubscribe("bob")
+    bus.publish("alice", "doc", ACTION_EDIT)
+    assert seen == []
+
+
+def test_latency_delays_delivery(env):
+    bus = AwarenessBus(env, latency=0.5)
+    seen = []
+    bus.subscribe("bob", lambda event: seen.append(env.now))
+    bus.publish("alice", "doc", ACTION_EDIT)
+    assert seen == []  # not yet delivered
+    env.run()
+    assert seen == [0.5]
+
+
+def test_negative_latency_rejected(env):
+    with pytest.raises(ValueError):
+        AwarenessBus(env, latency=-1)
+
+
+def test_counters_and_log(env):
+    bus = AwarenessBus(env)
+    bus.subscribe("bob", lambda event: None)
+    bus.subscribe("carol", lambda event: None)
+    bus.publish("alice", "doc", ACTION_EDIT)
+    assert bus.counters["published"] == 1
+    assert bus.counters["delivered"] == 2
+    assert len(bus.delivered_log) == 2
+
+
+def test_event_ids_unique(env):
+    bus = AwarenessBus(env)
+    first = bus.publish("a", "x", "edit")
+    second = bus.publish("a", "x", "edit")
+    assert first.event_id != second.event_id
+
+
+def test_workspace_awareness_publishes_writes(env):
+    store = SharedStore()
+    workspace = WorkspaceAwareness(env, store)
+    seen = []
+    workspace.watch("bob", seen.append)
+    store.write("doc", "v1", writer="alice", at=env.now)
+    assert len(seen) == 1
+    assert seen[0].action == ACTION_EDIT
+    assert seen[0].detail == {"version": 1}
+
+
+def test_workspace_awareness_artefact_filter(env):
+    store = SharedStore()
+    workspace = WorkspaceAwareness(env, store)
+    seen = []
+    workspace.watch("bob", seen.append, artefact="doc-A")
+    store.write("doc-A", "x", writer="alice")
+    store.write("doc-B", "y", writer="alice")
+    assert len(seen) == 1
+    assert seen[0].artefact == "doc-A"
+
+
+def test_workspace_awareness_notification_time(env):
+    """F2's key metric: notification is continuous, not commit-time."""
+    store = SharedStore()
+    workspace = WorkspaceAwareness(env, store, latency=0.1)
+    notified_at = []
+    workspace.watch("bob", lambda event: notified_at.append(env.now))
+
+    def writer(env):
+        for i in range(3):
+            yield env.timeout(1.0)
+            store.write("doc", "v{}".format(i), writer="alice")
+
+    env.process(writer(env))
+    env.run()
+    assert notified_at == [1.1, 2.1, 3.1]

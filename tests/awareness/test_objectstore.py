@@ -1,0 +1,112 @@
+"""Tests for the Mariani-style collaborative object store."""
+
+import pytest
+
+from repro.awareness import (
+    CollaborativeObjectStore,
+    Entity,
+    SharedSpace,
+)
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_store(env, **kwargs):
+    return CollaborativeObjectStore(env, half_life=60.0, **kwargs)
+
+
+def test_write_and_read_through(env):
+    cos = make_store(env)
+    version = cos.write("alice", "design-doc", "v1")
+    assert version == 1
+    assert cos.read("bob", "design-doc") == "v1"
+
+
+def test_browse_annotates_coworker_activity(env):
+    cos = make_store(env)
+    cos.write("alice", "design-doc", "v1")
+    cos.write("carol", "budget", "numbers")
+    activities = cos.browse("bob")
+    by_key = {oa.key: oa for oa in activities}
+    assert [actor for actor, _ in by_key["design-doc"].coworkers] == \
+        ["alice"]
+    assert [actor for actor, _ in by_key["budget"].coworkers] == \
+        ["carol"]
+    assert all(0 < weight <= 1
+               for oa in activities for _, weight in oa.coworkers)
+
+
+def test_browse_excludes_own_activity(env):
+    cos = make_store(env)
+    cos.write("bob", "notes", "mine")
+    activities = cos.browse("bob")
+    assert activities[0].coworkers == []
+    assert activities[0].activity_weight == 0
+
+
+def test_reads_are_visible_activity(env):
+    cos = make_store(env)
+    cos.write("alice", "doc", "v1")
+    cos.read("carol", "doc")
+    activities = cos.browse("bob")
+    actors = [actor for actor, _ in activities[0].coworkers]
+    assert set(actors) == {"alice", "carol"}
+
+
+def test_activity_decays_over_time(env):
+    cos = make_store(env)
+    cos.write("alice", "doc", "v1")
+    heat_now = cos.browse("bob")[0].activity_weight
+
+    def wait(env):
+        yield env.timeout(120.0)  # two half-lives
+
+    proc = env.process(wait(env))
+    env.run(proc)
+    heat_later = cos.browse("bob")[0].activity_weight
+    assert heat_later == pytest.approx(heat_now / 4, rel=0.01)
+
+
+def test_browse_sorted_by_heat(env):
+    cos = make_store(env)
+    cos.write("alice", "hot", "x")
+    cos.write("carol", "hot", "y")
+    cos.write("dave", "cold", "z")
+    activities = cos.browse("bob")
+    assert activities[0].key == "hot"
+    assert activities[0].activity_weight > activities[1].activity_weight
+
+
+def test_hot_objects_limit(env):
+    cos = make_store(env)
+    for i in range(8):
+        cos.write("alice", "obj-{}".format(i), i)
+    hot = cos.hot_objects("bob", limit=3)
+    assert len(hot) == 3
+    assert all(oa.activity_weight > 0 for oa in hot)
+
+
+def test_browse_specific_keys(env):
+    cos = make_store(env)
+    cos.write("alice", "a", 1)
+    cos.write("alice", "b", 2)
+    activities = cos.browse("bob", keys=["a", "ghost"])
+    assert [oa.key for oa in activities] == ["a"]
+
+
+def test_spatial_scoping(env):
+    space = SharedSpace()
+    space.add(Entity("bob", 0, 0, aura=100, focus=10, nimbus=10))
+    space.add(Entity("near", 3, 0, aura=100, focus=10, nimbus=10))
+    space.add(Entity("far", 90, 0, aura=5, focus=10, nimbus=10))
+    cos = make_store(env, space=space)
+    cos.write("near", "doc", "v1")
+    cos.write("far", "doc", "v2")
+    activities = cos.browse("bob")
+    weights = dict(activities[0].coworkers)
+    assert "near" in weights
+    assert "far" not in weights  # outside bob's aura: weight 0

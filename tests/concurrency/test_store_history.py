@@ -1,0 +1,45 @@
+"""Tests for the shared store's accountability history (§2.3)."""
+
+import pytest
+
+from repro.concurrency import SharedStore
+from repro.errors import ConcurrencyError
+
+
+def test_history_disabled_by_default():
+    store = SharedStore()
+    store.write("k", 1)
+    with pytest.raises(ConcurrencyError):
+        store.history()
+
+
+def test_history_records_every_write():
+    store = SharedStore(keep_history=True)
+    store.write("strip/BA100", "FL340", writer="north", at=1.0)
+    store.write("strip/BA100", "FL200", writer="north", at=2.0)
+    store.write("strip/BA200", "FL310", writer="south", at=3.0)
+    entries = store.history()
+    assert len(entries) == 3
+    assert entries[0] == (1.0, "strip/BA100", "FL340", 1, "north")
+    assert entries[1][3] == 2  # version advanced
+
+
+def test_history_filters_by_key_and_writer():
+    store = SharedStore(keep_history=True)
+    store.write("a", 1, writer="alice", at=1.0)
+    store.write("b", 2, writer="bob", at=2.0)
+    store.write("a", 3, writer="bob", at=3.0)
+    assert len(store.history(key="a")) == 2
+    assert len(store.history(writer="bob")) == 2
+    assert store.history(key="a", writer="bob") == [
+        (3.0, "a", 3, 2, "bob")]
+
+
+def test_history_supports_accountability_question():
+    """'Who moved this strip, and when?' — answerable at a glance."""
+    store = SharedStore(keep_history=True)
+    store.write("board/BA103", "north-rack", writer="north", at=10.0)
+    store.write("board/BA103", "south-rack", writer="south", at=25.0)
+    moves = store.history(key="board/BA103")
+    last_at, _, last_rack, _, last_by = moves[-1]
+    assert (last_by, last_rack, last_at) == ("south", "south-rack", 25.0)

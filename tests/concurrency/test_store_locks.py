@@ -1,0 +1,346 @@
+"""Tests for the shared store and the four lock styles."""
+
+import pytest
+
+from repro.concurrency import (
+    EXCLUSIVE,
+    HARD,
+    LockTable,
+    NOTIFICATION,
+    SHARED,
+    SOFT,
+    SharedStore,
+    TICKLE,
+)
+from repro.errors import ConcurrencyError, LockError
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+# -- SharedStore ------------------------------------------------------------
+
+def test_store_create_and_read():
+    store = SharedStore()
+    store.create("doc", "hello")
+    assert store.read("doc") == "hello"
+    assert "doc" in store
+    assert store.keys() == ["doc"]
+
+
+def test_store_create_duplicate_rejected():
+    store = SharedStore()
+    store.create("doc")
+    with pytest.raises(ConcurrencyError):
+        store.create("doc")
+
+
+def test_store_missing_item_raises():
+    store = SharedStore()
+    with pytest.raises(ConcurrencyError):
+        store.item("ghost")
+
+
+def test_store_ensure_idempotent():
+    store = SharedStore()
+    a = store.ensure("x", 1)
+    b = store.ensure("x", 2)
+    assert a is b
+    assert store.read("x") == 1
+
+
+def test_store_write_bumps_version():
+    store = SharedStore()
+    v1 = store.write("doc", "a", writer="alice", at=1.0)
+    v2 = store.write("doc", "b", writer="bob", at=2.0)
+    assert (v1, v2) == (1, 2)
+    item = store.item("doc")
+    assert item.last_writer == "bob"
+    assert item.last_write_at == 2.0
+
+
+def test_store_subscription():
+    store = SharedStore()
+    seen = []
+    store.subscribe(lambda key, value, version, writer:
+                    seen.append((key, value, version, writer)))
+    store.write("doc", "x", writer="alice")
+    assert seen == [("doc", "x", 1, "alice")]
+    store.unsubscribe(store._subscribers[0])
+    store.write("doc", "y")
+    assert len(seen) == 1
+
+
+def test_store_snapshot():
+    store = SharedStore()
+    store.write("a", 1)
+    store.write("b", 2)
+    assert store.snapshot() == {"a": (1, 1), "b": (2, 1)}
+
+
+# -- hard locks ---------------------------------------------------------------
+
+def test_hard_exclusive_blocks(env):
+    table = LockTable(env, style=HARD)
+    order = []
+
+    def user(env, name, hold):
+        grant = yield table.acquire("doc", name)
+        order.append((name, env.now))
+        yield env.timeout(hold)
+        grant.release()
+
+    env.process(user(env, "alice", 2.0))
+    env.process(user(env, "bob", 1.0))
+    env.run()
+    assert order == [("alice", 0.0), ("bob", 2.0)]
+    assert table.counters["waits"] == 1
+
+
+def test_hard_shared_locks_coexist(env):
+    table = LockTable(env, style=HARD)
+    granted = []
+
+    def reader(env, name):
+        yield table.acquire("doc", name, SHARED)
+        granted.append((name, env.now))
+
+    env.process(reader(env, "alice"))
+    env.process(reader(env, "bob"))
+    env.run()
+    assert granted == [("alice", 0.0), ("bob", 0.0)]
+
+
+def test_hard_shared_blocks_writer(env):
+    table = LockTable(env, style=HARD)
+    events = []
+
+    def reader(env):
+        grant = yield table.acquire("doc", "reader", SHARED)
+        events.append(("read", env.now))
+        yield env.timeout(3.0)
+        grant.release()
+
+    def writer(env):
+        yield env.timeout(0.5)
+        yield table.acquire("doc", "writer", EXCLUSIVE)
+        events.append(("write", env.now))
+
+    env.process(reader(env))
+    env.process(writer(env))
+    env.run()
+    assert events == [("read", 0.0), ("write", 3.0)]
+
+
+def test_release_unheld_grant_raises(env):
+    table = LockTable(env, style=HARD)
+
+    def root(env):
+        grant = yield table.acquire("doc", "alice")
+        grant.release()
+        with pytest.raises(LockError):
+            grant.release()
+
+    proc = env.process(root(env))
+    env.run(proc)
+
+
+def test_invalid_mode_and_style(env):
+    with pytest.raises(LockError):
+        LockTable(env, style="optimistic")
+    with pytest.raises(LockError):
+        LockTable(env, tickle_grace=-1, style=TICKLE)
+    table = LockTable(env)
+    with pytest.raises(LockError):
+        table.acquire("doc", "alice", mode="update")
+
+
+def test_same_owner_reentrant_exclusive(env):
+    table = LockTable(env, style=HARD)
+
+    def root(env):
+        yield table.acquire("doc", "alice", EXCLUSIVE)
+        second = table.acquire("doc", "alice", EXCLUSIVE)
+        assert second.triggered  # same owner is compatible with itself
+        yield second
+
+    proc = env.process(root(env))
+    env.run(proc)
+
+
+def test_cancel_wait(env):
+    table = LockTable(env, style=HARD)
+
+    def root(env):
+        yield table.acquire("doc", "alice")
+        pending = table.acquire("doc", "bob")
+        assert not pending.triggered
+        assert table.cancel_wait("doc", pending)
+        assert table.queue_length("doc") == 0
+        assert not table.cancel_wait("doc", pending)
+
+    proc = env.process(root(env))
+    env.run(proc)
+
+
+# -- tickle locks ----------------------------------------------------------------
+
+def test_tickle_takeover_when_holder_idle(env):
+    table = LockTable(env, style=TICKLE, tickle_grace=1.0)
+    takeovers = []
+    table.on_takeover = lambda grant, taker: takeovers.append(
+        (grant.owner, taker))
+
+    def idle_holder(env):
+        yield table.acquire("doc", "alice")
+        # Alice goes idle; never touches the grant again.
+
+    def impatient(env):
+        yield env.timeout(2.0)  # past the grace period
+        grant = yield table.acquire("doc", "bob")
+        return (env.now, grant.owner)
+
+    env.process(idle_holder(env))
+    proc = env.process(impatient(env))
+    env.run(proc)
+    assert proc.value == (2.0, "bob")
+    assert takeovers == [("alice", "bob")]
+    assert table.counters["takeovers"] == 1
+
+
+def test_tickle_active_holder_keeps_lock(env):
+    table = LockTable(env, style=TICKLE, tickle_grace=1.0)
+
+    def active_holder(env):
+        grant = yield table.acquire("doc", "alice")
+        for _ in range(5):
+            yield env.timeout(0.5)
+            grant.touch()
+        grant.release()
+
+    def impatient(env):
+        yield env.timeout(2.0)
+        yield table.acquire("doc", "bob")
+        return env.now
+
+    env.process(active_holder(env))
+    proc = env.process(impatient(env))
+    env.run(proc)
+    assert proc.value == 2.5  # waited for the release, no takeover
+    assert table.counters["takeovers"] == 0
+
+
+def test_tickled_holder_grant_marked_revoked(env):
+    table = LockTable(env, style=TICKLE, tickle_grace=0.5)
+    grants = {}
+
+    def holder(env):
+        grants["alice"] = yield table.acquire("doc", "alice")
+
+    def taker(env):
+        yield env.timeout(1.0)
+        yield table.acquire("doc", "bob")
+
+    env.process(holder(env))
+    env.process(taker(env))
+    env.run()
+    assert grants["alice"].revoked
+
+
+# -- soft locks ---------------------------------------------------------------
+
+def test_soft_locks_never_block(env):
+    table = LockTable(env, style=SOFT)
+    times = []
+
+    def user(env, name):
+        yield table.acquire("doc", name, EXCLUSIVE)
+        times.append((name, env.now))
+
+    env.process(user(env, "alice"))
+    env.process(user(env, "bob"))
+    env.run()
+    assert times == [("alice", 0.0), ("bob", 0.0)]
+
+
+def test_soft_lock_conflict_flagged(env):
+    table = LockTable(env, style=SOFT)
+    conflicts = []
+    table.on_conflict = lambda grant, other: conflicts.append(
+        (grant.owner, other))
+
+    def root(env):
+        a = yield table.acquire("doc", "alice", EXCLUSIVE)
+        assert not a.conflicting
+        b = yield table.acquire("doc", "bob", EXCLUSIVE)
+        assert a.conflicting and b.conflicting
+        b.release()
+        assert not a.conflicting
+
+    proc = env.process(root(env))
+    env.run(proc)
+    assert ("alice", "bob") in conflicts or ("bob", "alice") in conflicts
+    assert table.counters["conflicts"] >= 1
+
+
+def test_soft_readers_do_not_conflict(env):
+    table = LockTable(env, style=SOFT)
+
+    def root(env):
+        a = yield table.acquire("doc", "alice", SHARED)
+        b = yield table.acquire("doc", "bob", SHARED)
+        assert not a.conflicting and not b.conflicting
+
+    proc = env.process(root(env))
+    env.run(proc)
+
+
+# -- notification locks ----------------------------------------------------------
+
+def test_notification_readers_always_admitted(env):
+    table = LockTable(env, style=NOTIFICATION)
+
+    def root(env):
+        yield table.acquire("doc", "writer", EXCLUSIVE)
+        reader = table.acquire("doc", "reader", SHARED)
+        assert reader.triggered  # admitted despite the writer
+
+    proc = env.process(root(env))
+    env.run(proc)
+
+
+def test_notification_writers_exclude_writers(env):
+    table = LockTable(env, style=NOTIFICATION)
+    order = []
+
+    def writer(env, name, hold):
+        grant = yield table.acquire("doc", name, EXCLUSIVE)
+        order.append((name, env.now))
+        yield env.timeout(hold)
+        grant.release()
+
+    env.process(writer(env, "w1", 2.0))
+    env.process(writer(env, "w2", 1.0))
+    env.run()
+    assert order == [("w1", 0.0), ("w2", 2.0)]
+
+
+def test_notification_watchers_notified_of_writes(env):
+    table = LockTable(env, style=NOTIFICATION)
+    seen = []
+    table.watch("doc", lambda key, writer, kind: seen.append(
+        (key, writer, kind)))
+
+    def root(env):
+        yield table.acquire("doc", "writer", EXCLUSIVE)
+        yield table.acquire("doc", "reader", SHARED)
+        notified = table.notify_write("doc", "writer")
+        assert notified == 2  # the watcher and the shared reader
+
+    proc = env.process(root(env))
+    env.run(proc)
+    assert seen == [("doc", "writer", "write")]
+    assert table.counters["notifications"] == 2

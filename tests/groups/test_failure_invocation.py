@@ -1,0 +1,196 @@
+"""Tests for heartbeat failure detection and group invocation."""
+
+import pytest
+
+from repro.errors import GroupError
+from repro.groups import (
+    GroupInvoker,
+    HeartbeatMonitor,
+    HeartbeatSender,
+    QUORUM_ALL,
+    QUORUM_ANY,
+    QUORUM_MAJORITY,
+)
+from repro.net import Network, lan
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_net(env, hosts=4):
+    topo = lan(env, hosts=hosts)
+    return Network(env, topo)
+
+
+def test_heartbeat_keeps_member_alive(env):
+    net = make_net(env)
+    monitor = HeartbeatMonitor(net.host("host0"), ["host1"],
+                               suspect_after=2.0, check_interval=0.5)
+    HeartbeatSender(net.host("host1"), "host0", interval=0.5)
+    env.run(until=10.0)
+    assert not monitor.is_suspected("host1")
+
+
+def test_silent_member_suspected(env):
+    net = make_net(env)
+    suspects = []
+    monitor = HeartbeatMonitor(net.host("host0"), ["host1"],
+                               suspect_after=2.0, check_interval=0.5,
+                               on_suspect=suspects.append)
+    sender = HeartbeatSender(net.host("host1"), "host0", interval=0.5)
+
+    def crash(env):
+        yield env.timeout(3.0)
+        sender.stop()
+
+    env.process(crash(env))
+    env.run(until=10.0)
+    assert suspects == ["host1"]
+    assert monitor.is_suspected("host1")
+
+
+def test_reappearing_member_unsuspected(env):
+    net = make_net(env)
+    monitor = HeartbeatMonitor(net.host("host0"), ["host1"],
+                               suspect_after=1.0, check_interval=0.25)
+    # No sender at all initially: host1 will be suspected...
+    env.run(until=2.0)
+    assert monitor.is_suspected("host1")
+    # ...then heartbeats resume.
+    HeartbeatSender(net.host("host1"), "host0", interval=0.25)
+    env.run(until=4.0)
+    assert not monitor.is_suspected("host1")
+
+
+def test_unwatch_clears_suspicion(env):
+    net = make_net(env)
+    monitor = HeartbeatMonitor(net.host("host0"), ["host1"],
+                               suspect_after=1.0, check_interval=0.25)
+    env.run(until=2.0)
+    monitor.unwatch("host1")
+    assert not monitor.is_suspected("host1")
+    assert "host1" not in monitor.last_heard
+
+
+def test_monitor_validation(env):
+    net = make_net(env)
+    with pytest.raises(GroupError):
+        HeartbeatMonitor(net.host("host0"), [], suspect_after=0)
+    with pytest.raises(GroupError):
+        HeartbeatSender(net.host("host1"), "host0", interval=0)
+
+
+def make_invoker(env, servers=3):
+    net = make_net(env, hosts=servers + 1)
+    invoker = GroupInvoker(net, "host0")
+    members = []
+    for i in range(1, servers + 1):
+        name = "host{}".format(i)
+        endpoint = invoker.serve(name)
+        endpoint.register("start_camera",
+                          lambda caller, args, n=name: (n, "started"))
+        members.append(name)
+    return invoker, members
+
+
+def test_group_call_all_replies(env):
+    invoker, members = make_invoker(env)
+
+    def root(env):
+        result = yield invoker.call(members, "start_camera",
+                                    deadline=1.0)
+        return result
+
+    proc = env.process(root(env))
+    env.run(proc)
+    result = proc.value
+    assert result.quorum_met
+    assert result.replied == 3
+    assert set(result.results) == set(members)
+    assert result.worst_latency > 0
+
+
+def test_group_call_any_quorum_returns_early(env):
+    invoker, members = make_invoker(env)
+
+    def root(env):
+        result = yield invoker.call(members, "start_camera",
+                                    deadline=1.0, quorum=QUORUM_ANY)
+        return result
+
+    proc = env.process(root(env))
+    env.run(proc)
+    assert proc.value.quorum_met
+    assert proc.value.replied >= 1
+
+
+def test_group_call_majority_quorum(env):
+    invoker, members = make_invoker(env, servers=5)
+
+    def root(env):
+        result = yield invoker.call(members, "start_camera",
+                                    deadline=1.0, quorum=QUORUM_MAJORITY)
+        return result
+
+    proc = env.process(root(env))
+    env.run(proc)
+    assert proc.value.quorum_met
+    assert proc.value.replied >= 3
+
+
+def test_group_call_deadline_miss(env):
+    net = make_net(env, hosts=3)
+    invoker = GroupInvoker(net, "host0")
+    server = invoker.serve("host1")
+
+    def slow(caller, args):
+        yield env.timeout(5.0)
+        return "late"
+
+    server.register("slow_op", slow)
+
+    def root(env):
+        result = yield invoker.call(["host1"], "slow_op", deadline=0.5)
+        return result
+
+    proc = env.process(root(env))
+    env.run(proc)
+    result = proc.value
+    assert not result.quorum_met
+    assert result.errors == {"host1": "deadline"}
+
+
+def test_group_call_member_error_collected(env):
+    net = make_net(env, hosts=3)
+    invoker = GroupInvoker(net, "host0")
+    good = invoker.serve("host1")
+    bad = invoker.serve("host2")
+    good.register("op", lambda caller, args: "ok")
+
+    def failing(caller, args):
+        raise RuntimeError("camera jammed")
+
+    bad.register("op", failing)
+
+    def root(env):
+        result = yield invoker.call(["host1", "host2"], "op",
+                                    deadline=1.0)
+        return result
+
+    proc = env.process(root(env))
+    env.run(proc)
+    result = proc.value
+    assert not result.quorum_met  # ALL quorum needs both
+    assert result.results == {"host1": "ok"}
+    assert "camera jammed" in result.errors["host2"]
+
+
+def test_group_call_validation(env):
+    invoker, members = make_invoker(env)
+    with pytest.raises(GroupError):
+        invoker.call(members, "x", quorum="plurality")
+    with pytest.raises(GroupError):
+        invoker.call([], "x")

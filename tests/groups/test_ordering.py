@@ -1,0 +1,180 @@
+"""Tests for delivery-ordering buffers, including permutation properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.groups import (
+    CausalDelivery,
+    FifoDelivery,
+    GroupMessage,
+    TotalDelivery,
+    UnorderedDelivery,
+    make_ordering,
+)
+
+
+def msg(sender, seq=None, vector=None, global_seq=None, payload=None):
+    return GroupMessage(sender, payload, seq=seq, vector=vector,
+                        global_seq=global_seq)
+
+
+def test_unordered_delivers_immediately():
+    buffer = UnorderedDelivery()
+    m = msg("a")
+    assert buffer.on_receive(m) == [m]
+
+
+def test_fifo_in_order_passthrough():
+    buffer = FifoDelivery()
+    m1, m2 = msg("a", seq=1), msg("a", seq=2)
+    assert buffer.on_receive(m1) == [m1]
+    assert buffer.on_receive(m2) == [m2]
+
+
+def test_fifo_holds_out_of_order():
+    buffer = FifoDelivery()
+    m1, m2, m3 = msg("a", seq=1), msg("a", seq=2), msg("a", seq=3)
+    assert buffer.on_receive(m3) == []
+    assert buffer.on_receive(m1) == [m1]
+    assert buffer.on_receive(m2) == [m2, m3]
+
+
+def test_fifo_is_per_sender():
+    buffer = FifoDelivery()
+    a2 = msg("a", seq=2)
+    b1 = msg("b", seq=1)
+    assert buffer.on_receive(a2) == []
+    assert buffer.on_receive(b1) == [b1]  # b unaffected by a's gap
+
+
+def test_fifo_drops_duplicates():
+    buffer = FifoDelivery()
+    m1 = msg("a", seq=1)
+    buffer.on_receive(m1)
+    assert buffer.on_receive(msg("a", seq=1)) == []
+
+
+def test_fifo_requires_seq():
+    with pytest.raises(ValueError):
+        FifoDelivery().on_receive(msg("a"))
+
+
+def test_causal_direct_dependency_held():
+    # b's message depends on having seen a's first message.
+    buffer = CausalDelivery("c")
+    from_a = msg("a", vector={"a": 1})
+    from_b = msg("b", vector={"a": 1, "b": 1})
+    assert buffer.on_receive(from_b) == []
+    assert buffer.held_count == 1
+    assert buffer.on_receive(from_a) == [from_a, from_b]
+    assert buffer.held_count == 0
+
+
+def test_causal_concurrent_messages_flow():
+    buffer = CausalDelivery("c")
+    from_a = msg("a", vector={"a": 1})
+    from_b = msg("b", vector={"b": 1})
+    assert buffer.on_receive(from_b) == [from_b]
+    assert buffer.on_receive(from_a) == [from_a]
+
+
+def test_causal_implies_sender_fifo():
+    buffer = CausalDelivery("c")
+    second = msg("a", vector={"a": 2})
+    first = msg("a", vector={"a": 1})
+    assert buffer.on_receive(second) == []
+    assert buffer.on_receive(first) == [first, second]
+
+
+def test_causal_requires_vector():
+    with pytest.raises(ValueError):
+        CausalDelivery("x").on_receive(msg("a"))
+
+
+def test_total_delivers_by_global_seq():
+    buffer = TotalDelivery()
+    m1, m2, m3 = (msg("a", global_seq=1), msg("b", global_seq=2),
+                  msg("a", global_seq=3))
+    assert buffer.on_receive(m2) == []
+    assert buffer.on_receive(m1) == [m1, m2]
+    assert buffer.on_receive(m3) == [m3]
+
+
+def test_total_drops_duplicates():
+    buffer = TotalDelivery()
+    buffer.on_receive(msg("a", global_seq=1))
+    assert buffer.on_receive(msg("a", global_seq=1)) == []
+
+
+def test_total_requires_global_seq():
+    with pytest.raises(ValueError):
+        TotalDelivery().on_receive(msg("a"))
+
+
+def test_make_ordering_factory():
+    assert isinstance(make_ordering("fifo", "x"), FifoDelivery)
+    assert isinstance(make_ordering("causal", "x"), CausalDelivery)
+    assert isinstance(make_ordering("total", "x"), TotalDelivery)
+    assert isinstance(make_ordering("unordered", "x"), UnorderedDelivery)
+    with pytest.raises(ValueError):
+        make_ordering("bogus", "x")
+
+
+# -- property-based: arbitrary arrival orders ------------------------------
+
+@given(st.permutations(list(range(1, 8))))
+def test_fifo_property_delivery_in_send_order(arrival):
+    """However messages arrive, FIFO delivers 1..n in order, complete."""
+    buffer = FifoDelivery()
+    delivered = []
+    for seq in arrival:
+        delivered.extend(buffer.on_receive(msg("s", seq=seq)))
+    assert [m.seq for m in delivered] == list(range(1, 8))
+
+
+@given(st.permutations(list(range(1, 8))))
+def test_total_property_delivery_by_global_seq(arrival):
+    buffer = TotalDelivery()
+    delivered = []
+    for gseq in arrival:
+        delivered.extend(buffer.on_receive(msg("s", global_seq=gseq)))
+    assert [m.global_seq for m in delivered] == list(range(1, 8))
+
+
+@st.composite
+def causal_history(draw):
+    """A random causal history of 3 senders, plus an arrival permutation."""
+    senders = ["a", "b", "c"]
+    vectors = {s: {} for s in senders}
+    messages = []
+    count = draw(st.integers(3, 10))
+    for _ in range(count):
+        sender = draw(st.sampled_from(senders))
+        # Occasionally merge another sender's history (a causal read).
+        if messages and draw(st.booleans()):
+            other = draw(st.sampled_from(messages)).vector
+            for process, time in other.items():
+                if time > vectors[sender].get(process, 0):
+                    vectors[sender][process] = time
+        vectors[sender][sender] = vectors[sender].get(sender, 0) + 1
+        messages.append(msg(sender, vector=dict(vectors[sender])))
+    order = draw(st.permutations(messages))
+    return messages, order
+
+
+@given(causal_history())
+def test_causal_property_all_delivered_respecting_causality(history):
+    """Causal delivery is complete and never inverts happened-before."""
+    from repro.groups import VectorClock
+
+    messages, arrival = history
+    buffer = CausalDelivery("observer")
+    delivered = []
+    for message in arrival:
+        delivered.extend(buffer.on_receive(message))
+    assert len(delivered) == len(messages)
+    # No message is delivered before one it causally depends on.
+    for i, later in enumerate(delivered):
+        for earlier in delivered[i + 1:]:
+            assert not VectorClock(earlier.vector).happened_before(
+                VectorClock(later.vector)) or earlier is later

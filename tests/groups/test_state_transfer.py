@@ -1,0 +1,74 @@
+"""Tests for late-join state transfer in process groups."""
+
+import pytest
+
+from repro.groups import ProcessGroup
+from repro.net import Network, lan
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_group(env, hosts=4):
+    topo = lan(env, hosts=hosts)
+    net = Network(env, topo)
+    return ProcessGroup(net, "g", ordering="fifo")
+
+
+def test_late_joiner_receives_state(env):
+    group = make_group(env)
+    state = {"document": "v1", "members_seen": 2}
+    group.set_state_provider(lambda: (dict(state), 4096))
+    group.join("host0")
+    group.join("host1")
+    state["document"] = "v2"
+    late = group.join("host2")
+    env.run()
+    assert late.joined_state == {"document": "v2", "members_seen": 2}
+    assert late.state_received_at is not None
+    assert late.state_received_at > 0  # crossed the network
+
+
+def test_first_member_gets_no_state(env):
+    group = make_group(env)
+    group.set_state_provider(lambda: ({"x": 1}, 100))
+    first = group.join("host0")
+    env.run()
+    assert first.joined_state is None
+
+
+def test_no_provider_no_state(env):
+    group = make_group(env)
+    group.join("host0")
+    late = group.join("host1")
+    env.run()
+    assert late.joined_state is None
+
+
+def test_state_transfer_then_messages_flow(env):
+    group = make_group(env)
+    group.set_state_provider(lambda: ("snapshot", 1000))
+    group.join("host0")
+    late = group.join("host1")
+    group.endpoint("host0").broadcast("post-join")
+    env.run()
+    assert late.joined_state == "snapshot"
+    assert [m.payload for m in late.delivered_log] == ["post-join"]
+
+
+def test_larger_state_takes_longer(env):
+    received = {}
+    for size, tag in ((1000, "small"), (10_000_000, "large")):
+        env_local = Environment()
+        topo = lan(env_local, hosts=2, bandwidth=1e8)
+        net = Network(env_local, topo)
+        group = ProcessGroup(net, "g-" + tag, ordering="fifo")
+        group.set_state_provider(lambda size=size: ("s", size))
+        group.join("host0")
+        late = group.join("host1")
+        env_local.run()
+        received[tag] = late.state_received_at
+    assert received["large"] > received["small"] * 10

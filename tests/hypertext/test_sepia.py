@@ -1,0 +1,118 @@
+"""Tests for SEPIA-style planning spaces inside the hypertext network."""
+
+import pytest
+
+from repro.errors import HypertextError
+from repro.hypertext import (
+    DONE,
+    HypertextNetwork,
+    IN_PROGRESS,
+    PLANNED,
+    PlanningSpace,
+)
+
+
+@pytest.fixture
+def plan():
+    return PlanningSpace()
+
+
+def test_task_creation_and_listing(plan):
+    task = plan.add_task("gordon", "draft section 3")
+    assert task.content == {"title": "draft section 3",
+                            "state": PLANNED}
+    assert plan.tasks() == [task]
+    assert plan.tasks(state=PLANNED) == [task]
+    assert plan.tasks(state=DONE) == []
+
+
+def test_task_linked_to_content(plan):
+    content = plan.network.add_node("gordon", "section", "the text")
+    task = plan.add_task("gordon", "revise", concerning=content.node_id)
+    annotations = plan.network.links_from(task.node_id, "annotates")
+    assert len(annotations) == 1
+    assert annotations[0].dst == content.node_id
+
+
+def test_state_lifecycle(plan):
+    task = plan.add_task("gordon", "write intro")
+    plan.set_state("tom", task.node_id, IN_PROGRESS)
+    assert plan.tasks(state=IN_PROGRESS) == [task]
+    plan.set_state("tom", task.node_id, DONE)
+    assert task.content["state"] == DONE
+    with pytest.raises(HypertextError):
+        plan.set_state("tom", task.node_id, "abandoned")
+
+
+def test_non_task_rejected(plan):
+    content = plan.network.add_node("x", "section", "text")
+    with pytest.raises(HypertextError):
+        plan.set_state("x", content.node_id, DONE)
+    with pytest.raises(HypertextError):
+        plan.assignees_of(content.node_id)
+
+
+def test_dependencies_block_completion(plan):
+    draft = plan.add_task("gordon", "draft")
+    review = plan.add_task("tom", "review")
+    plan.depends_on("tom", review.node_id, draft.node_id)
+    assert plan.blocking_tasks(review.node_id) == [draft]
+    with pytest.raises(HypertextError):
+        plan.set_state("tom", review.node_id, DONE)
+    plan.set_state("gordon", draft.node_id, DONE)
+    assert plan.blocking_tasks(review.node_id) == []
+    plan.set_state("tom", review.node_id, DONE)
+
+
+def test_dependency_validation(plan):
+    a = plan.add_task("x", "a")
+    b = plan.add_task("x", "b")
+    with pytest.raises(HypertextError):
+        plan.depends_on("x", a.node_id, a.node_id)
+    plan.depends_on("x", b.node_id, a.node_id)
+    with pytest.raises(HypertextError):
+        plan.depends_on("x", a.node_id, b.node_id)  # cycle
+
+
+def test_ready_tasks(plan):
+    a = plan.add_task("x", "a")
+    b = plan.add_task("x", "b")
+    c = plan.add_task("x", "c")
+    plan.depends_on("x", b.node_id, a.node_id)
+    plan.depends_on("x", c.node_id, b.node_id)
+    assert plan.ready_tasks() == [a]
+    plan.set_state("x", a.node_id, DONE)
+    assert plan.ready_tasks() == [b]
+
+
+def test_assignment_and_workload(plan):
+    a = plan.add_task("gordon", "a")
+    b = plan.add_task("gordon", "b")
+    plan.assign("gordon", a.node_id, "tom")
+    plan.assign("gordon", b.node_id, "tom")
+    plan.assign("gordon", b.node_id, "nigel")
+    with pytest.raises(HypertextError):
+        plan.assign("gordon", a.node_id, "tom")
+    assert plan.assignees_of(b.node_id) == ["tom", "nigel"]
+    assert len(plan.workload_of("tom")) == 2
+    plan.set_state("tom", a.node_id, DONE)
+    assert plan.workload_of("tom") == [b]
+
+
+def test_plan_shares_network_with_content(plan):
+    """The plan is hypertext: it can be annotated like anything else."""
+    task = plan.add_task("gordon", "restructure section 4")
+    comment = plan.network.add_node("tom", "comment",
+                                    "suggest splitting in two")
+    plan.network.add_link("tom", comment.node_id, task.node_id,
+                          "annotates")
+    annotations = plan.network.links_to(task.node_id, "annotates")
+    assert len(annotations) == 1
+
+
+def test_plan_over_existing_network():
+    network = HypertextNetwork("shared")
+    section = network.add_node("gordon", "section", "content")
+    plan = PlanningSpace(network=network)
+    task = plan.add_task("gordon", "polish", concerning=section.node_id)
+    assert task in network.nodes()

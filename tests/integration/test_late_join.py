@@ -1,0 +1,79 @@
+"""Tests for OT late join: a snapshot-initialised replica converges."""
+
+import pytest
+
+from repro import CooperativePlatform
+from repro.errors import SessionError
+
+
+def make_platform():
+    return CooperativePlatform(sites=4, hosts_per_site=1, seed=201)
+
+
+def test_late_joiner_starts_from_snapshot():
+    platform = make_platform()
+    members = platform.host_names()[:2]
+    session = platform.create_session("s", members)
+    doc = session.shared_document("doc", initial="base")
+    doc.client(members[0]).insert(4, " text")
+    platform.run()
+    late = platform.host_names()[2]
+    replica = doc.add_member(platform, late)
+    assert replica.text == "base text"
+    assert replica.core.revision == doc.server.core.revision
+
+
+def test_late_joiner_participates_and_converges():
+    platform = make_platform()
+    members = platform.host_names()[:2]
+    session = platform.create_session("s", members)
+    doc = session.shared_document("doc", initial="0123")
+    doc.client(members[0]).insert(0, "A")
+    platform.run()
+    late = platform.host_names()[2]
+    replica = doc.add_member(platform, late)
+    # Everyone keeps editing, including the newcomer.
+    replica.insert(0, "Z")
+    doc.client(members[1]).insert(len(doc.client(members[1]).text), "!")
+    platform.run()
+    assert doc.converged
+    texts = set(doc.texts().values())
+    assert len(texts) == 1
+    final = texts.pop()
+    assert "Z" in final and "A" in final and "!" in final
+
+
+def test_late_joiner_receives_edits_concurrent_with_join():
+    platform = make_platform()
+    members = platform.host_names()[:2]
+    session = platform.create_session("s", members)
+    doc = session.shared_document("doc", initial="")
+    env = platform.env
+
+    def early_editor(env):
+        doc.client(members[0]).insert(0, "a")
+        yield env.timeout(0.001)
+        doc.client(members[0]).insert(1, "b")
+
+    def joiner(env):
+        # Join while editor traffic is still in flight.
+        yield env.timeout(0.0005)
+        replica = doc.add_member(platform, platform.host_names()[2])
+        yield env.timeout(0.5)
+        return replica
+
+    env.process(early_editor(env))
+    join_proc = env.process(joiner(env))
+    platform.run()
+    replica = join_proc.value
+    assert doc.converged
+    assert replica.text == doc.server.core.text == "ab"
+
+
+def test_duplicate_late_join_rejected():
+    platform = make_platform()
+    members = platform.host_names()[:2]
+    session = platform.create_session("s", members)
+    doc = session.shared_document("doc")
+    with pytest.raises(SessionError):
+        doc.add_member(platform, members[0])

@@ -1,0 +1,89 @@
+"""The platform described through its own five ODP viewpoints.
+
+A dogfooding test: build an :class:`ODPSpecification` of a deployment of
+this library and verify it passes the cross-viewpoint conformance checks
+— with the §4.1 sociality content (working division of labour,
+ethnographic observations) present in the enterprise model.
+"""
+
+from repro import CooperativePlatform
+from repro.core import ComputationalModel, ODPSpecification
+
+
+def describe_deployment(platform: CooperativePlatform
+                        ) -> ODPSpecification:
+    spec = ODPSpecification("cooperative-authoring-service")
+
+    # Enterprise: the community and both formal and observed flows.
+    enterprise = spec.enterprise
+    enterprise.add_community("authoring-team",
+                             ["author", "co-author", "reviewer"])
+    enterprise.add_formal_flow("co-author", "author")
+    enterprise.add_formal_flow("reviewer", "author")
+    enterprise.add_working_flow("co-author", "reviewer")
+    enterprise.observe(
+        "reviewer",
+        "reviewers monitor co-authors' sections peripherally and raise "
+        "issues informally before formal review")
+
+    # Information: the shared schemas and their invariants.
+    spec.information.add_schema(
+        "document", {"text": "str", "version": "int"})
+    spec.information.add_schema(
+        "awareness-event", {"actor": "str", "artefact": "str",
+                            "action": "str", "at": "float"})
+    spec.information.add_invariant(
+        "replica-convergence",
+        "all OT replicas converge to the sequencer's text")
+
+    # Computational: the objects and interfaces of the deployment.
+    computational = spec.computational
+    computational.add_object("ot-sequencer")
+    computational.add_interface("ot-sequencer", "ot-ops")
+    computational.add_object("awareness-bus")
+    computational.add_interface("awareness-bus", "events")
+    computational.add_object("video-source")
+    computational.add_interface("video-source", "video-out",
+                                kind=ComputationalModel.STREAM)
+    computational.bind("ot-ops", "events")
+
+    # Engineering: placement on the simulated deployment's nodes.
+    engineering = spec.engineering
+    for host in platform.host_names():
+        engineering.add_node(host)
+    hosts = platform.host_names()
+    engineering.place("ot-sequencer", hosts[0])
+    engineering.place("awareness-bus", hosts[0])
+    engineering.place("video-source", hosts[1])
+    engineering.support_stream("video-out", "priority-unicast")
+
+    # Technology: what the engineering is realised with here.
+    spec.technology.choose("transport", "simulated packet network")
+    spec.technology.choose("ordering", "sequencer-based total order")
+    spec.technology.choose("qos-enforcement", "priority link queues")
+    return spec
+
+
+def test_platform_specification_is_consistent():
+    platform = CooperativePlatform(sites=2, hosts_per_site=1)
+    spec = describe_deployment(platform)
+    assert spec.check_consistency() == []
+    assert spec.is_consistent()
+
+
+def test_sociality_content_is_first_class():
+    platform = CooperativePlatform(sites=2, hosts_per_site=1)
+    spec = describe_deployment(platform)
+    assert spec.enterprise.informality_ratio() > 0
+    assert spec.enterprise.observations["reviewer"]
+
+
+def test_missing_engineering_support_detected():
+    platform = CooperativePlatform(sites=2, hosts_per_site=1)
+    spec = describe_deployment(platform)
+    spec.computational.add_object("audio-source")
+    spec.computational.add_interface("audio-source", "audio-out",
+                                     kind=ComputationalModel.STREAM)
+    spec.engineering.place("audio-source", platform.host_names()[1])
+    problems = spec.check_consistency()
+    assert any("audio-out" in p for p in problems)

@@ -1,0 +1,111 @@
+"""Tests for congestion-aware communications management."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.management import CommunicationsManager
+from repro.net import Network, Topology
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def triangle(env, bandwidth=1e6):
+    """Two routes from a to b: a short direct link and a 2-hop detour
+    whose combined weight is slightly higher."""
+    topo = Topology(env)
+    topo.add_link("a", "b", latency=0.010, bandwidth=bandwidth)
+    topo.add_link("a", "c", latency=0.006, bandwidth=bandwidth)
+    topo.add_link("c", "b", latency=0.006, bandwidth=bandwidth)
+    return topo
+
+
+def test_validation(env):
+    topo = triangle(env)
+    net = Network(env, topo)
+    with pytest.raises(ReproError):
+        CommunicationsManager(net, period=0)
+    with pytest.raises(ReproError):
+        CommunicationsManager(net, smoothing=0)
+    with pytest.raises(ReproError):
+        CommunicationsManager(net, sensitivity=-1)
+
+
+def test_utilisation_tracks_traffic(env):
+    topo = triangle(env)
+    net = Network(env, topo)
+    manager = CommunicationsManager(net, period=1.0, smoothing=1.0)
+    src, dst = net.host("a"), net.host("b")
+
+    def pump(env):
+        # ~500 kb/s on a 1 Mb/s link: ~50% utilisation.
+        while env.now < 5.0:
+            src.send("b", size=6250)
+            yield env.timeout(0.1)
+
+    env.process(pump(env))
+    env.run(until=5.5)
+    manager.stop()
+    utilisation = manager.utilisation_of("a", "b")
+    assert 0.3 < utilisation < 0.7
+    assert manager.utilisation_of("a", "c") < 0.05
+    hottest = manager.hottest_links(limit=1)
+    assert hottest[0][0].ends in (("a", "b"), ("b", "a"))
+
+
+def test_congestion_reroutes_traffic(env):
+    topo = triangle(env)
+    net = Network(env, topo)
+    manager = CommunicationsManager(net, period=1.0, sensitivity=10.0,
+                                    smoothing=1.0)
+    src = net.host("a")
+    net.host("b")
+    # The direct link starts as the chosen route.
+    assert len(topo.path("a", "b")) == 1
+
+    def flood(env):
+        while env.now < 10.0:
+            src.send("b", size=12500)  # 1 Mb/s: saturation
+            yield env.timeout(0.1)
+
+    env.process(flood(env))
+    env.run(until=3.5)
+    # After sampling, the congested direct link's weight has risen and
+    # routing prefers the 2-hop detour.
+    assert len(topo.path("a", "b")) == 2
+    assert manager.counters["reroutes"] >= 1
+    manager.stop()
+    env.run(until=11.0)
+
+
+def test_idle_network_keeps_routes(env):
+    topo = triangle(env)
+    net = Network(env, topo)
+    manager = CommunicationsManager(net, period=1.0)
+    env.run(until=5.0)
+    manager.stop()
+    assert len(topo.path("a", "b")) == 1
+    assert manager.counters["samples"] >= 4
+
+
+def test_utilisation_decays_after_burst(env):
+    topo = triangle(env)
+    net = Network(env, topo)
+    manager = CommunicationsManager(net, period=1.0, smoothing=0.5)
+    src = net.host("a")
+    net.host("b")
+
+    def burst(env):
+        while env.now < 2.0:
+            src.send("b", size=12500)
+            yield env.timeout(0.1)
+
+    env.process(burst(env))
+    env.run(until=2.5)
+    peak = manager.utilisation_of("a", "b")
+    env.run(until=8.0)
+    manager.stop()
+    assert manager.utilisation_of("a", "b") < peak / 2

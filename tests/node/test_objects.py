@@ -1,0 +1,113 @@
+"""Tests for engineering objects, clusters and capsules."""
+
+import pytest
+
+from repro.errors import NodeError
+from repro.node import Capsule, Cluster, EngineeringObject
+
+
+def test_object_identity_and_state():
+    obj = EngineeringObject("doc", state={"text": "hi"}, state_size=64)
+    assert obj.name == "doc"
+    assert obj.state == {"text": "hi"}
+    assert obj.state_size == 64
+    assert obj.oid.startswith("obj-")
+
+
+def test_object_state_size_validation():
+    with pytest.raises(NodeError):
+        EngineeringObject("x", state_size=-1)
+
+
+def test_object_operations():
+    obj = EngineeringObject("counter", state={"n": 0})
+    obj.operation("incr", lambda caller, state, args: state.__setitem__(
+        "n", state["n"] + args) or state["n"])
+    assert obj.has_operation("incr")
+    assert not obj.has_operation("decr")
+    obj.invoke_local("tester", "incr", 5)
+    assert obj.state["n"] == 5
+    assert obj.invocations == 1
+
+
+def test_invoke_unknown_operation():
+    obj = EngineeringObject("x")
+    with pytest.raises(NodeError):
+        obj.invoke_local("tester", "missing", None)
+
+
+def test_cluster_add_remove():
+    cluster = Cluster("c")
+    obj = EngineeringObject("a")
+    cluster.add(obj)
+    assert obj.cluster is cluster
+    assert len(cluster) == 1
+    removed = cluster.remove(obj.oid)
+    assert removed is obj
+    assert obj.cluster is None
+    assert len(cluster) == 0
+
+
+def test_cluster_rejects_double_add():
+    c1, c2 = Cluster(), Cluster()
+    obj = EngineeringObject("a")
+    c1.add(obj)
+    with pytest.raises(NodeError):
+        c2.add(obj)
+
+
+def test_cluster_remove_missing():
+    cluster = Cluster()
+    with pytest.raises(NodeError):
+        cluster.remove("obj-999999")
+
+
+def test_cluster_state_size_sums_objects():
+    cluster = Cluster()
+    cluster.add(EngineeringObject("a", state_size=100))
+    cluster.add(EngineeringObject("b", state_size=200))
+    assert cluster.state_size == 300
+
+
+def test_capsule_cluster_lifecycle():
+    capsule = Capsule("cap")
+    cluster = Cluster("c")
+    capsule.add_cluster(cluster)
+    assert cluster.capsule is capsule
+    removed = capsule.remove_cluster(cluster.cluster_id)
+    assert removed is cluster
+    assert cluster.capsule is None
+
+
+def test_capsule_rejects_double_add():
+    cap1, cap2 = Capsule(), Capsule()
+    cluster = Cluster()
+    cap1.add_cluster(cluster)
+    with pytest.raises(NodeError):
+        cap2.add_cluster(cluster)
+
+
+def test_capsule_remove_missing():
+    capsule = Capsule()
+    with pytest.raises(NodeError):
+        capsule.remove_cluster("cluster-999999")
+
+
+def test_capsule_find_object():
+    capsule = Capsule()
+    cluster = Cluster()
+    capsule.add_cluster(cluster)
+    obj = EngineeringObject("target")
+    cluster.add(obj)
+    assert capsule.find_object(obj.oid) is obj
+    assert capsule.find_object("obj-0") is None
+
+
+def test_capsule_all_objects():
+    capsule = Capsule()
+    c1, c2 = Cluster(), Cluster()
+    capsule.add_cluster(c1)
+    capsule.add_cluster(c2)
+    c1.add(EngineeringObject("a"))
+    c2.add(EngineeringObject("b"))
+    assert sorted(o.name for o in capsule.all_objects()) == ["a", "b"]

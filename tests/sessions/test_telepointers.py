@@ -1,0 +1,86 @@
+"""Tests for telepointers: shared cursors with throttling."""
+
+import pytest
+
+from repro.errors import SessionError
+from repro.sessions import TelepointerService
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def test_validation(env):
+    with pytest.raises(SessionError):
+        TelepointerService(env, update_interval=-1)
+    service = TelepointerService(env)
+    with pytest.raises(SessionError):
+        service.move("ghost", 1, 2)
+    with pytest.raises(SessionError):
+        service.position_of("ghost")
+    service.join("alice")
+    with pytest.raises(SessionError):
+        service.join("alice")
+
+
+def test_movement_reaches_colleagues(env):
+    service = TelepointerService(env, update_interval=0.1, latency=0.02)
+    seen = []
+    service.join("alice")
+    service.join("bob", on_move=lambda member, x, y: seen.append(
+        (member, x, y)))
+    service.move("alice", 10.0, 20.0)
+    env.run(until=1.0)
+    assert ("alice", 10.0, 20.0) in seen
+    assert service.position_of("alice") == (10.0, 20.0)
+
+
+def test_own_movements_not_echoed(env):
+    service = TelepointerService(env, update_interval=0.1)
+    seen = []
+    service.join("alice", on_move=lambda member, x, y: seen.append(
+        member))
+    service.move("alice", 1.0, 1.0)
+    env.run(until=1.0)
+    assert seen == []
+
+
+def test_throttling_coalesces_rapid_movement(env):
+    """A burst of moves publishes at most one update per interval."""
+    service = TelepointerService(env, update_interval=0.2, latency=0.0)
+    service.join("alice")
+    service.join("bob")
+
+    def wiggle(env):
+        for i in range(100):
+            service.move("alice", float(i), 0.0)
+            yield env.timeout(0.01)  # 100 Hz of raw movement
+
+    env.process(wiggle(env))
+    env.run(until=2.0)
+    assert service.counters["moves"] == 100
+    # 1 s of movement at 0.2 s interval -> ~5-6 published updates.
+    assert service.counters["updates_published"] <= 8
+    # The final position still gets through.
+    assert service.position_of("alice")[0] >= 94.0
+
+
+def test_multiple_watchers(env):
+    service = TelepointerService(env, update_interval=0.05)
+    seen = {"bob": [], "carol": []}
+    service.join("alice")
+    service.join("bob", on_move=lambda m, x, y: seen["bob"].append(m))
+    service.join("carol",
+                 on_move=lambda m, x, y: seen["carol"].append(m))
+    service.move("alice", 5, 5)
+    env.run(until=0.5)
+    assert seen["bob"] == ["alice"]
+    assert seen["carol"] == ["alice"]
+
+
+def test_default_position(env):
+    service = TelepointerService(env)
+    service.join("alice")
+    assert service.position_of("alice") == (0.0, 0.0)

@@ -1,0 +1,204 @@
+"""Tests for random streams and measurement monitors."""
+
+import pytest
+
+from repro.sim import (
+    Counter,
+    RandomStreams,
+    Tally,
+    TimeSeries,
+    bounded_normal,
+    exponential,
+    histogram,
+    weighted_choice,
+    zipf_index,
+)
+
+
+def test_streams_are_deterministic():
+    a = RandomStreams(seed=7).stream("net")
+    b = RandomStreams(seed=7).stream("net")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_streams_differ_by_name():
+    streams = RandomStreams(seed=7)
+    assert streams.stream("net").random() != streams.stream("users").random()
+
+
+def test_streams_differ_by_seed():
+    a = RandomStreams(seed=1).stream("net").random()
+    b = RandomStreams(seed=2).stream("net").random()
+    assert a != b
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(seed=3)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_fork_derives_independent_factory():
+    parent = RandomStreams(seed=5)
+    child1 = parent.fork("siteA")
+    child2 = parent.fork("siteB")
+    assert child1.seed != child2.seed
+    assert parent.fork("siteA").seed == child1.seed
+
+
+def test_exponential_mean_roughly_correct():
+    rng = RandomStreams(seed=11).stream("exp")
+    draws = [exponential(rng, 2.0) for _ in range(20000)]
+    mean = sum(draws) / len(draws)
+    assert 1.9 < mean < 2.1
+
+
+def test_exponential_non_positive_mean():
+    rng = RandomStreams(seed=1).stream("e")
+    assert exponential(rng, 0) == 0.0
+    assert exponential(rng, -5) == 0.0
+
+
+def test_bounded_normal_respects_bounds():
+    rng = RandomStreams(seed=13).stream("bn")
+    draws = [bounded_normal(rng, 0.0, 10.0, low=-1.0, high=1.0)
+             for _ in range(1000)]
+    assert all(-1.0 <= d <= 1.0 for d in draws)
+
+
+def test_zipf_concentrates_on_low_indices():
+    rng = RandomStreams(seed=17).stream("z")
+    draws = [zipf_index(rng, 100, skew=1.5) for _ in range(5000)]
+    head = sum(1 for d in draws if d < 10)
+    assert head > len(draws) * 0.5
+
+
+def test_zipf_uniform_when_skew_zero():
+    rng = RandomStreams(seed=19).stream("z0")
+    draws = [zipf_index(rng, 10, skew=0) for _ in range(5000)]
+    head = sum(1 for d in draws if d < 5)
+    assert 0.4 < head / len(draws) < 0.6
+
+
+def test_zipf_invalid_n():
+    rng = RandomStreams(seed=1).stream("z")
+    with pytest.raises(ValueError):
+        zipf_index(rng, 0)
+
+
+def test_weighted_choice_prefers_heavy_items():
+    rng = RandomStreams(seed=23).stream("w")
+    draws = [weighted_choice(rng, ["a", "b"], [9.0, 1.0])
+             for _ in range(2000)]
+    assert draws.count("a") > 1500
+
+
+def test_weighted_choice_validation():
+    rng = RandomStreams(seed=1).stream("w")
+    with pytest.raises(ValueError):
+        weighted_choice(rng, ["a"], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        weighted_choice(rng, [], [])
+    with pytest.raises(ValueError):
+        weighted_choice(rng, ["a"], [0.0])
+
+
+def test_tally_statistics():
+    tally = Tally("latency")
+    for value in (1.0, 2.0, 3.0, 4.0):
+        tally.record(value)
+    assert tally.count == 4
+    assert tally.mean == 2.5
+    assert tally.minimum == 1.0
+    assert tally.maximum == 4.0
+    assert tally.median == 2.5
+    assert tally.total == 10.0
+
+
+def test_tally_empty_is_safe():
+    tally = Tally()
+    assert tally.mean == 0.0
+    assert tally.stddev == 0.0
+    assert tally.percentile(95) == 0.0
+
+
+def test_tally_percentile_interpolates():
+    tally = Tally()
+    for value in range(1, 101):
+        tally.record(float(value))
+    assert abs(tally.percentile(50) - 50.5) < 1e-9
+    assert tally.percentile(0) == 1.0
+    assert tally.percentile(100) == 100.0
+
+
+def test_tally_percentile_validation():
+    tally = Tally()
+    tally.record(1.0)
+    with pytest.raises(ValueError):
+        tally.percentile(150)
+
+
+def test_tally_summary_keys():
+    tally = Tally()
+    tally.record(5.0)
+    summary = tally.summary()
+    assert set(summary) == {"count", "mean", "min", "max", "median",
+                            "p95", "stddev"}
+
+
+def test_counter_increments():
+    counter = Counter()
+    counter.incr("messages")
+    counter.incr("messages", by=4)
+    assert counter["messages"] == 5
+    assert counter["unknown"] == 0
+    assert counter.as_dict() == {"messages": 5}
+
+
+def test_timeseries_time_weighted_mean():
+    series = TimeSeries("queue")
+    series.record(0.0, 0.0)
+    series.record(5.0, 10.0)
+    series.record(10.0, 0.0)
+    # value 0 for 5s then 10 for 5s => mean 5 over [0, 10]
+    assert series.time_weighted_mean() == 5.0
+
+
+def test_timeseries_extends_to_until():
+    series = TimeSeries()
+    series.record(0.0, 2.0)
+    assert series.time_weighted_mean(until=10.0) == 2.0
+
+
+def test_timeseries_rejects_backwards_time():
+    series = TimeSeries()
+    series.record(5.0, 1.0)
+    with pytest.raises(ValueError):
+        series.record(4.0, 1.0)
+
+
+def test_timeseries_max_and_values():
+    series = TimeSeries()
+    series.record(0.0, 1.0)
+    series.record(1.0, 9.0)
+    assert series.max() == 9.0
+    assert series.values() == [1.0, 9.0]
+
+
+def test_histogram_bins_values():
+    bins = histogram([0.0, 1.0, 2.0, 3.0, 4.0], bins=5)
+    assert len(bins) == 5
+    assert sum(count for _, _, count in bins) == 5
+
+
+def test_histogram_empty():
+    assert histogram([], bins=4) == []
+
+
+def test_histogram_degenerate_range():
+    bins = histogram([2.0, 2.0], bins=4)
+    assert bins == [(2.0, 2.0, 2)]
+
+
+def test_histogram_invalid_bins():
+    with pytest.raises(ValueError):
+        histogram([1.0], bins=0)

@@ -1,0 +1,151 @@
+"""Tests for virtual rooms and doors."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sim import Environment
+from repro.spaces import (
+    DOOR_AJAR,
+    DOOR_CLOSED,
+    DOOR_OPEN,
+    ENTER_GRANTED,
+    ENTER_NO_ANSWER,
+    ENTER_REFUSED,
+    MEETING_ROOM,
+    OFFICE,
+    VirtualBuilding,
+)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def building(env):
+    b = VirtualBuilding(env)
+    b.add_room("meeting-1", kind=MEETING_ROOM)
+    b.add_room("gordons-office", kind=OFFICE, owner="gordon",
+               capacity=3)
+    return b
+
+
+def enter(env, building, person, room):
+    proc_result = {}
+
+    def root(env):
+        outcome = yield building.enter(person, room)
+        proc_result["outcome"] = outcome
+
+    proc = env.process(root(env))
+    env.run(proc)
+    return proc_result["outcome"]
+
+
+def test_room_validation(env):
+    building = VirtualBuilding(env)
+    with pytest.raises(ReproError):
+        building.add_room("x", kind="dungeon")
+    with pytest.raises(ReproError):
+        building.add_room("x", capacity=0)
+    building.add_room("x")
+    with pytest.raises(ReproError):
+        building.add_room("x")
+    with pytest.raises(ReproError):
+        building.room("ghost")
+    with pytest.raises(ReproError):
+        VirtualBuilding(env, knock_timeout=0)
+
+
+def test_meeting_room_door_defaults_open(building):
+    assert building.room("meeting-1").door_state == DOOR_OPEN
+    assert building.room("gordons-office").door_state == DOOR_AJAR
+
+
+def test_open_door_admits_immediately(env, building):
+    assert enter(env, building, "tom", "meeting-1") == ENTER_GRANTED
+    assert building.location_of("tom") == "meeting-1"
+    assert building.occupancy()["meeting-1"] == ["tom"]
+
+
+def test_closed_door_refuses(env, building):
+    room = building.room("meeting-1")
+    room.set_door(DOOR_CLOSED)
+    assert enter(env, building, "tom", "meeting-1") == ENTER_REFUSED
+    assert building.location_of("tom") is None
+
+
+def test_full_room_refuses(env, building):
+    room = building.room("gordons-office")
+    room.occupants.extend(["a", "b", "c"])  # capacity 3
+    assert enter(env, building, "tom", "gordons-office") == ENTER_REFUSED
+
+
+def test_ajar_door_knock_answered(env, building):
+    # Gordon is in his office and answers knocks.
+    building.room("gordons-office").occupants.append("gordon")
+    building.whereis["gordon"] = "gordons-office"
+    assert enter(env, building, "tom", "gordons-office") == ENTER_GRANTED
+
+
+def test_ajar_door_policy_refusal(env, building):
+    room = building.room("gordons-office")
+    room.occupants.append("gordon")
+    room.answer_policy = lambda visitor: visitor != "salesperson"
+    assert enter(env, building, "salesperson",
+                 "gordons-office") == ENTER_REFUSED
+    assert enter(env, building, "tom", "gordons-office") == ENTER_GRANTED
+
+
+def test_empty_office_knock_unanswered(env, building):
+    assert enter(env, building, "tom",
+                 "gordons-office") == ENTER_NO_ANSWER
+    assert building.counters["unanswered_knocks"] == 1
+
+
+def test_entering_leaves_previous_room(env, building):
+    building.add_room("meeting-2")
+    enter(env, building, "tom", "meeting-1")
+    enter(env, building, "tom", "meeting-2")
+    assert building.location_of("tom") == "meeting-2"
+    assert building.occupancy()["meeting-1"] == []
+
+
+def test_leave_to_corridor(env, building):
+    enter(env, building, "tom", "meeting-1")
+    building.leave("tom")
+    assert building.location_of("tom") is None
+    building.leave("tom")  # idempotent
+
+
+def test_door_change_requires_standing(env, building):
+    room = building.room("gordons-office")
+    with pytest.raises(ReproError):
+        room.set_door(DOOR_CLOSED, by="stranger")
+    room.set_door(DOOR_CLOSED, by="gordon")  # the owner may
+    assert room.door_state == DOOR_CLOSED
+    with pytest.raises(ReproError):
+        room.set_door("revolving")
+
+
+def test_presence_awareness_events(env, building):
+    seen = []
+    building.awareness.subscribe("observer",
+                                 lambda event: seen.append(
+                                     (event.actor, event.artefact,
+                                      event.action)))
+    enter(env, building, "tom", "meeting-1")
+    building.leave("tom")
+    actions = [action for _, _, action in seen]
+    assert "enter" in actions and "leave" in actions
+
+
+def test_knock_publishes_awareness(env, building):
+    building.room("gordons-office").occupants.append("gordon")
+    seen = []
+    building.awareness.subscribe(
+        "gordon", lambda event: seen.append(event.action),
+        event_filter=lambda name, event: event.actor != name)
+    enter(env, building, "tom", "gordons-office")
+    assert "knock" in seen

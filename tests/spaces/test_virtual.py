@@ -1,0 +1,120 @@
+"""Tests for the DIVE-style virtual environment."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sim import Environment
+from repro.spaces import VirtualEnvironment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_world(env):
+    return VirtualEnvironment(env, check_interval=0.5)
+
+
+def test_validation(env):
+    with pytest.raises(ReproError):
+        VirtualEnvironment(env, check_interval=0)
+    world = make_world(env)
+    world.embody("alice")
+    with pytest.raises(ReproError):
+        world.walk("alice", 1, 1, speed=0)
+
+
+def test_embody_places_entity(env):
+    world = make_world(env)
+    entity = world.embody("alice", 5.0, 7.0)
+    assert world.space.entity("alice") is entity
+    assert entity.position == (5.0, 7.0)
+
+
+def test_walk_reaches_destination(env):
+    world = make_world(env)
+    world.embody("alice", 0, 0)
+    walk = world.walk("alice", 10.0, 0.0, speed=2.0)
+    env.run(walk)
+    assert world.space.entity("alice").position == (10.0, 0.0)
+    # 10 units at 2 u/s = 5 s of walking.
+    assert env.now == pytest.approx(5.0, abs=0.5)
+    world.stop()
+
+
+def test_approach_opens_audio_link(env):
+    world = make_world(env)
+    world.embody("alice", 0, 0)
+    world.embody("bob", 100, 0)
+    env.run(until=1.0)
+    assert not world.connected("alice", "bob")
+    walk = world.walk("bob", 4.0, 0.0, speed=10.0)
+    env.run(walk)
+    env.run(until=env.now + 1.0)
+    assert world.connected("alice", "bob")
+    assert world.counters["links_opened"] == 1
+    world.stop()
+
+
+def test_departure_closes_audio_link(env):
+    world = make_world(env)
+    world.embody("alice", 0, 0)
+    world.embody("bob", 3, 0)
+    env.run(until=1.0)
+    assert world.connected("alice", "bob")
+    walk = world.walk("bob", 200.0, 0.0, speed=50.0)
+    env.run(walk)
+    env.run(until=env.now + 1.0)
+    assert not world.connected("alice", "bob")
+    assert world.counters["links_closed"] == 1
+    opened_at, closed_at, pair = world.link_history[0]
+    assert closed_at > opened_at
+    assert pair == frozenset(("alice", "bob"))
+    world.stop()
+
+
+def test_asymmetric_awareness_does_not_connect(env):
+    """Audio requires mutual full awareness (conversation, not spying)."""
+    world = make_world(env)
+    # Alice has a huge focus; bob's nimbus is tiny: alice sees bob only
+    # peripherally, never mutually full.
+    world.embody("alice", 0, 0, focus=50, nimbus=1)
+    world.embody("bob", 8, 0, focus=1, nimbus=1)
+    env.run(until=2.0)
+    assert not world.connected("alice", "bob")
+    world.stop()
+
+
+def test_say_scoped_by_awareness(env):
+    world = make_world(env)
+    world.embody("speaker", 0, 0)
+    world.embody("near", 3, 0)
+    world.embody("distant", 500, 0)
+    utterance = world.say("speaker", "shall we review the design?")
+    assert "near" in utterance.heard_by
+    assert "distant" not in utterance.heard_by
+    assert 0 < utterance.heard_by["near"] <= 1
+    world.stop()
+
+
+def test_say_volume_falls_with_distance(env):
+    world = make_world(env)
+    world.embody("speaker", 0, 0, focus=20, nimbus=20)
+    world.embody("close", 2, 0, focus=20, nimbus=20)
+    world.embody("far", 15, 0, focus=20, nimbus=20)
+    utterance = world.say("speaker", "hello")
+    assert utterance.heard_by["close"] > utterance.heard_by["far"]
+    world.stop()
+
+
+def test_three_party_conversation_cluster(env):
+    world = make_world(env)
+    for name, x in (("a", 0), ("b", 3), ("c", 6)):
+        world.embody(name, x, 0)
+    env.run(until=1.0)
+    assert world.connected("a", "b")
+    assert world.connected("b", "c")
+    assert world.connected("a", "c")
+    assert world.counters["links_opened"] == 3
+    world.stop()

@@ -1,0 +1,120 @@
+"""Tests for QoS-annotated stream interfaces and compatibility checks."""
+
+import pytest
+
+from repro.errors import BindingError, QoSNegotiationFailed
+from repro.net import Network, lan
+from repro.qos import QoSBroker, QoSParameters
+from repro.sim import Environment
+from repro.streams import (
+    AUDIO,
+    CONSUMER,
+    MediaSink,
+    MediaSource,
+    PRODUCER,
+    StreamInterface,
+    VIDEO,
+    bind_interfaces,
+    check_compatibility,
+)
+
+
+def offered(throughput=1e6, latency=0.05, jitter=0.02, loss=0.01):
+    return QoSParameters(throughput=throughput, latency=latency,
+                         jitter=jitter, loss=loss)
+
+
+def required(throughput=8e5, latency=0.1, jitter=0.05, loss=0.05):
+    return QoSParameters(throughput=throughput, latency=latency,
+                         jitter=jitter, loss=loss)
+
+
+def make_pair(producer_qos=None, consumer_qos=None, media=VIDEO):
+    producer = StreamInterface("cam-out", "host0", PRODUCER, media,
+                               producer_qos or offered())
+    consumer = StreamInterface("window-in", "host1", CONSUMER, media,
+                               consumer_qos or required())
+    return producer, consumer
+
+
+def test_interface_validation():
+    with pytest.raises(BindingError):
+        StreamInterface("x", "n", "bidirectional", VIDEO, offered())
+    with pytest.raises(BindingError):
+        StreamInterface("x", "n", PRODUCER, "smell-o-vision", offered())
+
+
+def test_compatible_pair_passes():
+    producer, consumer = make_pair()
+    assert check_compatibility(producer, consumer) == []
+
+
+def test_direction_mismatch_detected():
+    producer, consumer = make_pair()
+    problems = check_compatibility(consumer, producer)
+    assert len(problems) == 2
+    assert any("not a producer" in p for p in problems)
+
+
+def test_media_type_mismatch_detected():
+    producer = StreamInterface("mic", "host0", PRODUCER, AUDIO,
+                               offered())
+    _, consumer = make_pair()
+    problems = check_compatibility(producer, consumer)
+    assert any("media types differ" in p for p in problems)
+
+
+def test_each_qos_axis_checked():
+    cases = [
+        (offered(throughput=5e5), "throughput"),
+        (offered(latency=0.5), "latency"),
+        (offered(jitter=0.2), "jitter"),
+        (offered(loss=0.2), "loss"),
+    ]
+    for weak_offer, axis in cases:
+        producer, consumer = make_pair(producer_qos=weak_offer)
+        problems = check_compatibility(producer, consumer)
+        assert any(axis in p for p in problems), axis
+
+
+def test_bind_incompatible_raises():
+    env = Environment()
+    net = Network(env, lan(env, hosts=2))
+    producer, consumer = make_pair(producer_qos=offered(loss=0.9))
+    with pytest.raises(BindingError, match="loss"):
+        bind_interfaces(net, producer, consumer)
+
+
+def test_bind_without_broker_carries_frames():
+    env = Environment()
+    net = Network(env, lan(env, hosts=2))
+    producer, consumer = make_pair()
+    binding = bind_interfaces(net, producer, consumer)
+    sink = MediaSink(env, "window", target_delay=0.1)
+    binding.attach_sink(sink)
+    source = MediaSource(env, "cam", binding.send_frame, rate=10.0,
+                         frame_size=1000)
+    source.start(duration=1.0)
+    env.run(until=2.0)
+    assert sink.counters["played"] == 10
+
+
+def test_bind_with_broker_reserves():
+    env = Environment()
+    net = Network(env, lan(env, hosts=2))
+    broker = QoSBroker(net)
+    producer, consumer = make_pair()
+    binding = bind_interfaces(net, producer, consumer, broker=broker)
+    assert binding.contract is not None
+    assert binding.contract.agreed.throughput >= 8e5
+    assert binding.priority == 0  # reserved
+
+
+def test_bind_with_broker_refuses_beyond_capacity():
+    env = Environment()
+    net = Network(env, lan(env, hosts=2, bandwidth=1e6))
+    broker = QoSBroker(net)
+    producer, consumer = make_pair(
+        consumer_qos=required(throughput=9e5))
+    with pytest.raises(QoSNegotiationFailed):
+        bind_interfaces(net, producer, consumer, broker=broker)

@@ -1,0 +1,41 @@
+"""The error hierarchy: every library error is a ReproError."""
+
+import inspect
+
+import pytest
+
+from repro import errors
+
+
+def all_error_classes():
+    return [obj for _, obj in inspect.getmembers(errors, inspect.isclass)
+            if issubclass(obj, Exception)]
+
+
+def test_every_error_derives_from_repro_error():
+    for cls in all_error_classes():
+        assert issubclass(cls, errors.ReproError), cls
+
+
+def test_catching_the_family():
+    with pytest.raises(errors.ReproError):
+        raise errors.QoSNegotiationFailed("no capacity")
+    with pytest.raises(errors.QoSError):
+        raise errors.QoSViolation("late frames")
+    with pytest.raises(errors.NetworkError):
+        raise errors.RoutingError("no route")
+    with pytest.raises(errors.ConcurrencyError):
+        raise errors.TransactionAborted("deadlock")
+    with pytest.raises(errors.SessionError):
+        raise errors.FloorControlError("not holding")
+    with pytest.raises(errors.GroupError):
+        raise errors.MembershipError("not a member")
+    with pytest.raises(errors.MobilityError):
+        raise errors.DisconnectedError("in the tunnel")
+    with pytest.raises(errors.WorkflowError):
+        raise errors.IllegalSpeechAct("cannot promise yet")
+
+
+def test_hierarchy_is_wide():
+    # The library distinguishes its subsystems' failures.
+    assert len(all_error_classes()) >= 20

@@ -1,0 +1,122 @@
+"""Tests for the Rendezvous-style Abstraction-Link-View architecture."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.toolkit import (
+    MultiUserApplication,
+    SharedAbstraction,
+    UserView,
+    ViewLink,
+)
+
+
+def test_abstraction_set_get():
+    abstraction = SharedAbstraction("whiteboard")
+    abstraction.set("alice", "title", "Q3 plan")
+    assert abstraction.get("title") == "Q3 plan"
+    assert abstraction.get("missing", "default") == "default"
+    assert abstraction.keys() == ["title"]
+    assert abstraction.changes == 1
+
+
+def test_view_renders_on_change():
+    abstraction = SharedAbstraction()
+    view = UserView(abstraction, "alice",
+                    links=[ViewLink("count")])
+    abstraction.set("bob", "count", 3)
+    assert view.presented["count"] == 3
+    abstraction.set("bob", "count", 4)
+    assert view.presented["count"] == 4
+
+
+def test_relaxed_wysiwis_per_user_rendering():
+    """Two users see the same abstraction differently."""
+    abstraction = SharedAbstraction()
+    plain = UserView(abstraction, "alice", links=[ViewLink("items")])
+    summarised = UserView(
+        abstraction, "bob",
+        links=[ViewLink("items",
+                        render=lambda value, local:
+                        "{} items".format(len(value or [])))])
+    abstraction.set("alice", "items", ["a", "b", "c"])
+    assert plain.presented["items"] == ["a", "b", "c"]
+    assert summarised.presented["items"] == "3 items"
+
+
+def test_private_local_state_affects_only_own_view():
+    abstraction = SharedAbstraction()
+
+    def highlight(value, local):
+        selected = local.get("selection")
+        return [("*" + item if item == selected else item)
+                for item in (value or [])]
+
+    alice = UserView(abstraction, "alice",
+                     links=[ViewLink("items", render=highlight)])
+    bob = UserView(abstraction, "bob",
+                   links=[ViewLink("items", render=highlight)])
+    abstraction.set("x", "items", ["a", "b"])
+    alice.set_local("selection", "b")
+    assert alice.presented["items"] == ["a", "*b"]
+    assert bob.presented["items"] == ["a", "b"]  # unaffected
+
+
+def test_input_maps_back_to_abstraction():
+    abstraction = SharedAbstraction()
+    view = UserView(
+        abstraction, "alice",
+        links=[ViewLink("count",
+                        accept=lambda presented, current:
+                        (current or 0) + presented)])
+    abstraction.set("x", "count", 10)
+    view.input("count", 5)   # "+5" gesture
+    assert abstraction.get("count") == 15
+    assert view.presented["count"] == 15
+
+
+def test_read_only_link_rejects_input():
+    abstraction = SharedAbstraction()
+    view = UserView(abstraction, "alice", links=[ViewLink("title")])
+    with pytest.raises(ReproError):
+        view.input("title", "new")
+    with pytest.raises(ReproError):
+        view.input("unlinked", "x")
+
+
+def test_closed_view_stops_rendering():
+    abstraction = SharedAbstraction()
+    view = UserView(abstraction, "alice", links=[ViewLink("k")])
+    abstraction.set("x", "k", 1)
+    renders = view.render_count
+    view.close()
+    abstraction.set("x", "k", 2)
+    assert view.render_count == renders
+    assert view.presented["k"] == 1
+
+
+def test_multi_user_application_scaffold():
+    app = MultiUserApplication("vote-counter")
+    app.define_link(ViewLink(
+        "votes", accept=lambda presented, current: (current or 0) + 1))
+    alice = app.join("alice")
+    bob = app.join("bob")
+    with pytest.raises(ReproError):
+        app.join("alice")
+    alice.input("votes", "click")
+    bob.input("votes", "click")
+    assert app.abstraction.get("votes") == 2
+    assert alice.presented["votes"] == 2
+    assert bob.presented["votes"] == 2
+    app.leave("bob")
+    alice.input("votes", "click")
+    assert bob.presented["votes"] == 2  # frozen after leaving
+    app.leave("ghost")  # tolerated
+
+
+def test_late_defined_link_propagates_to_existing_views():
+    app = MultiUserApplication("doc")
+    alice = app.join("alice")
+    app.abstraction.set("x", "status", "draft")
+    app.define_link(ViewLink("status"))
+    assert alice.presented["status"] == "draft"

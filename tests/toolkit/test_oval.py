@@ -1,0 +1,151 @@
+"""Tests for the OVAL objects/views/agents/links composition model."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.toolkit import (
+    ON_ARRIVAL,
+    ON_CHANGE,
+    OvalSystem,
+    arrived_kind,
+    file_into,
+    forward_to,
+    kind_is,
+)
+
+
+@pytest.fixture
+def system():
+    return OvalSystem()
+
+
+def test_objects_have_kind_fields_links(system):
+    ws = system.workspace("alice")
+    bug = ws.create("bug", {"title": "crash on save", "severity": 2})
+    note = ws.create("note", {"text": "reproduced on v3"})
+    bug.link("evidence", note)
+    assert bug.fields["severity"] == 2
+    assert bug.linked("evidence") == [note]
+    assert bug.linked("nothing") == []
+
+
+def test_inbox_view_shows_everything(system):
+    ws = system.workspace("alice")
+    ws.create("bug", {})
+    ws.create("memo", {})
+    assert len(ws.view("inbox")) == 2
+    assert "inbox" in ws.view_names()
+
+
+def test_views_are_named_queries(system):
+    ws = system.workspace("alice")
+    ws.define_view("urgent-bugs",
+                   lambda obj: obj.kind == "bug"
+                   and obj.fields.get("severity", 0) >= 3)
+    ws.create("bug", {"severity": 5})
+    ws.create("bug", {"severity": 1})
+    ws.create("memo", {"severity": 5})
+    assert len(ws.view("urgent-bugs")) == 1
+    with pytest.raises(ReproError):
+        ws.view("ghost")
+
+
+def test_send_moves_object_between_workspaces(system):
+    alice = system.workspace("alice")
+    bob = system.workspace("bob")
+    memo = alice.create("memo", {"text": "hello"})
+    alice.send(memo, "bob")
+    assert memo not in alice.objects
+    assert memo in bob.objects
+    assert ("alice", "sent to bob") in memo.history
+    with pytest.raises(ReproError):
+        alice.send(memo, "bob")  # no longer hers
+    assert system.users() == ["alice", "bob"]
+
+
+def test_update_requires_possession(system):
+    alice = system.workspace("alice")
+    bob = system.workspace("bob")
+    memo = alice.create("memo")
+    with pytest.raises(ReproError):
+        bob.update(memo, text="hijacked")
+
+
+def test_agent_fires_on_arrival(system):
+    alice = system.workspace("alice")
+    bob = system.workspace("bob")
+    bob.add_agent("file-bugs", arrived_kind("bug"),
+                  file_into("folder", "bug-reports"))
+    bob.define_view("bug-reports",
+                    lambda obj: obj.fields.get("folder") == "bug-reports")
+    bug = alice.create("bug", {"title": "x"})
+    alice.send(bug, "bob")
+    assert bug.fields["folder"] == "bug-reports"
+    assert bob.view("bug-reports") == [bug]
+
+
+def test_agent_forwarding_chain(system):
+    """Mail-sorting tailoring: triage forwards severe bugs to the lead."""
+    triage = system.workspace("triage")
+    lead = system.workspace("lead")
+    triage.add_agent(
+        "escalate",
+        lambda obj, event: event == ON_ARRIVAL
+        and obj.fields.get("severity", 0) >= 4,
+        forward_to("lead"))
+    reporter = system.workspace("reporter")
+    severe = reporter.create("bug", {"severity": 5})
+    mild = reporter.create("bug", {"severity": 1})
+    reporter.send(severe, "triage")
+    reporter.send(mild, "triage")
+    assert severe in lead.objects
+    assert mild in triage.objects
+
+
+def test_agent_fires_on_change(system):
+    ws = system.workspace("alice")
+    closed = []
+    ws.add_agent("archive-closed",
+                 lambda obj, event: event == ON_CHANGE
+                 and obj.fields.get("state") == "closed",
+                 lambda workspace, obj: closed.append(obj))
+    bug = ws.create("bug", {"state": "open"})
+    ws.update(bug, state="closed")
+    assert closed == [bug]
+
+
+def test_agent_fire_count_and_removal(system):
+    ws = system.workspace("alice")
+    agent = ws.add_agent("count-bugs", kind_is("bug"),
+                         lambda workspace, obj: None)
+    ws.create("bug")
+    ws.create("bug")
+    assert agent.fired == 2
+    ws.remove_agent("count-bugs")
+    ws.create("bug")
+    assert agent.fired == 2
+
+
+def test_coordinator_rebuilt_by_tailoring(system):
+    """OVAL's party trick: a Coordinator-like tool from primitives."""
+    alice = system.workspace("alice")
+    bob = system.workspace("bob")
+    for ws in (alice, bob):
+        ws.define_view("open-conversations",
+                       lambda obj: obj.kind == "conversation"
+                       and obj.fields.get("state") not in
+                       ("completed", "declined"))
+    # Bob's agent auto-promises requests from his manager.
+    bob.add_agent(
+        "auto-promise",
+        lambda obj, event: event == ON_ARRIVAL
+        and obj.kind == "conversation"
+        and obj.fields.get("state") == "requested"
+        and obj.fields.get("from") == "alice",
+        file_into("state", "promised"))
+    conversation = alice.create("conversation",
+                                {"state": "requested", "from": "alice",
+                                 "about": "write the report"})
+    alice.send(conversation, "bob")
+    assert conversation.fields["state"] == "promised"
+    assert bob.view("open-conversations") == [conversation]

@@ -1,0 +1,141 @@
+"""Tests for the ActionWorkflow four-phase loop with delegation."""
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.workflow import (
+    ACCEPTANCE,
+    NEGOTIATION,
+    PERFORMANCE,
+    PREPARATION,
+    WorkflowLoop,
+)
+from repro.workflow.action_workflow import CANCELLED, CLOSED
+
+
+def make_loop():
+    return WorkflowLoop("customer-corp", "consultancy",
+                        "deliver the ODP middleware study")
+
+
+def test_parties_must_differ():
+    with pytest.raises(WorkflowError):
+        WorkflowLoop("acme", "acme", "anything")
+
+
+def test_happy_loop_traverses_four_phases():
+    loop = make_loop()
+    assert loop.phase == PREPARATION
+    loop.request("final report by Q3")
+    assert loop.phase == NEGOTIATION
+    loop.agree("final report by Q4, interim in Q3")
+    assert loop.phase == PERFORMANCE
+    assert loop.conditions_of_satisfaction == \
+        "final report by Q4, interim in Q3"
+    loop.declare_complete()
+    assert loop.phase == ACCEPTANCE
+    loop.declare_satisfaction()
+    assert loop.is_closed
+    assert loop.history == [PREPARATION, NEGOTIATION, PERFORMANCE,
+                            ACCEPTANCE, CLOSED]
+
+
+def test_phase_discipline():
+    loop = make_loop()
+    with pytest.raises(WorkflowError):
+        loop.agree()               # no request yet
+    loop.request("x")
+    with pytest.raises(WorkflowError):
+        loop.declare_complete()    # not performing yet
+    loop.agree()
+    with pytest.raises(WorkflowError):
+        loop.declare_satisfaction()  # nothing declared complete
+
+
+def test_rejection_returns_to_performance():
+    loop = make_loop()
+    loop.request("x")
+    loop.agree()
+    loop.declare_complete()
+    loop.reject()
+    assert loop.phase == PERFORMANCE
+    loop.declare_complete()
+    loop.declare_satisfaction()
+    assert loop.is_closed
+
+
+def test_delegation_opens_sub_loop():
+    loop = make_loop()
+    loop.request("study")
+    loop.agree()
+    sub = loop.delegate("measurement-team", "run the benchmarks")
+    # The performer of the parent is the customer of the sub-loop.
+    assert sub.customer == "consultancy"
+    assert sub.performer == "measurement-team"
+    assert sub.parent is loop
+    assert loop.depth() == 1
+
+
+def test_delegation_requires_performance_phase():
+    loop = make_loop()
+    with pytest.raises(WorkflowError):
+        loop.delegate("anyone", "anything")
+
+
+def test_parent_cannot_complete_with_open_sub_loops():
+    loop = make_loop()
+    loop.request("study")
+    loop.agree()
+    sub = loop.delegate("team", "benchmarks")
+    with pytest.raises(WorkflowError, match=sub.loop_id):
+        loop.declare_complete()
+    # Close the sub-loop; the parent may now complete.
+    sub.request("tables by friday")
+    sub.agree()
+    sub.declare_complete()
+    sub.declare_satisfaction()
+    loop.declare_complete()
+    loop.declare_satisfaction()
+    assert loop.is_closed
+
+
+def test_cancel_cascades_to_sub_loops():
+    loop = make_loop()
+    loop.request("study")
+    loop.agree()
+    sub = loop.delegate("team", "benchmarks")
+    deeper = None
+    sub.request("x")
+    sub.agree()
+    deeper = sub.delegate("junior", "plots")
+    loop.cancel()
+    assert loop.phase == CANCELLED
+    assert sub.phase == CANCELLED
+    assert deeper.phase == CANCELLED
+    with pytest.raises(WorkflowError):
+        loop.cancel()
+
+
+def test_nested_depth():
+    loop = make_loop()
+    loop.request("x")
+    loop.agree()
+    sub = loop.delegate("a", "part 1")
+    sub.request("y")
+    sub.agree()
+    sub.delegate("b", "part 1.1")
+    assert loop.depth() == 2
+
+
+def test_process_map_renders_tree():
+    loop = make_loop()
+    loop.request("study")
+    loop.agree()
+    sub = loop.delegate("team", "benchmarks")
+    rendered = loop.process_map()
+    lines = rendered.splitlines()
+    assert len(lines) == 2
+    assert "customer-corp -> consultancy" in lines[0]
+    assert lines[1].startswith("  ")
+    assert "consultancy -> team" in lines[1]
+    assert "[performance]" in lines[0]

@@ -1,0 +1,112 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.concurrency import StructuredDocument
+from repro.errors import ReproError
+from repro.workload import (
+    EditingWorkload,
+    SessionChurn,
+    conflict_rate,
+)
+
+
+def test_workload_validation():
+    with pytest.raises(ReproError):
+        EditingWorkload([])
+    with pytest.raises(ReproError):
+        EditingWorkload(["a"], think_mean=0)
+    with pytest.raises(ReproError):
+        EditingWorkload(["a"], duration=0)
+
+
+def test_workload_deterministic_for_seed():
+    users = ["alice", "bob"]
+    first = EditingWorkload(users, seed=42).generate()
+    second = EditingWorkload(users, seed=42).generate()
+    assert [(e.user, e.at, e.position, e.span) for e in first] == \
+        [(e.user, e.at, e.position, e.span) for e in second]
+
+
+def test_workload_changes_with_seed():
+    users = ["alice", "bob"]
+    a = EditingWorkload(users, seed=1).generate()
+    b = EditingWorkload(users, seed=2).generate()
+    assert [(e.at, e.position) for e in a] != \
+        [(e.at, e.position) for e in b]
+
+
+def test_workload_events_time_ordered_and_bounded():
+    workload = EditingWorkload(["a", "b", "c"], duration=100.0, seed=3)
+    events = workload.generate()
+    assert events
+    times = [event.at for event in events]
+    assert times == sorted(times)
+    assert all(0 <= event.at < 100.0 for event in events)
+    doc = workload.document
+    assert all(0 <= event.position
+               and event.position + event.span <= doc.total_words
+               for event in events)
+
+
+def test_workload_event_word_range():
+    from repro.workload import EditEvent
+
+    event = EditEvent("a", 1.0, 10, 3, 2.0)
+    assert list(event.word_range()) == [10, 11, 12]
+
+
+def test_hotspot_skew_raises_conflicts():
+    doc = StructuredDocument()
+    users = ["a", "b", "c", "d"]
+    uniform = EditingWorkload(users, document=doc, hotspot_skew=0.0,
+                              duration=200.0, seed=5).generate()
+    skewed = EditingWorkload(users, document=doc, hotspot_skew=2.0,
+                             duration=200.0, seed=5).generate()
+    uniform_rate = conflict_rate(uniform, doc, "paragraph")
+    skewed_rate = conflict_rate(skewed, doc, "paragraph")
+    assert skewed_rate > uniform_rate
+
+
+def test_conflict_rate_granularity_monotone():
+    doc = StructuredDocument()
+    events = EditingWorkload(["a", "b", "c"], document=doc,
+                             hotspot_skew=1.0, duration=200.0,
+                             seed=7).generate()
+    coarse = conflict_rate(events, doc, "section")
+    fine = conflict_rate(events, doc, "word")
+    assert coarse >= fine
+
+
+def test_conflict_rate_empty():
+    assert conflict_rate([], StructuredDocument(), "word") == 0.0
+
+
+def test_churn_validation():
+    with pytest.raises(ReproError):
+        SessionChurn([])
+    with pytest.raises(ReproError):
+        SessionChurn(["a"], mean_present=0)
+
+
+def test_churn_alternates_join_leave():
+    churn = SessionChurn(["alice"], duration=500.0, seed=1)
+    events = [e for e in churn.generate() if e.user == "alice"]
+    kinds = [event.kind for event in events]
+    assert kinds[0] == "join"
+    assert all(a != b for a, b in zip(kinds, kinds[1:]))
+
+
+def test_churn_deterministic():
+    a = SessionChurn(["x", "y"], seed=9).generate()
+    b = SessionChurn(["x", "y"], seed=9).generate()
+    assert [(e.at, e.user, e.kind) for e in a] == \
+        [(e.at, e.user, e.kind) for e in b]
+
+
+def test_churn_presence_at():
+    churn = SessionChurn(["alice", "bob"], duration=100.0, seed=2)
+    present = churn.presence_at(0.5)
+    assert set(present) <= {"alice", "bob"}
+    # Everyone joins at t=0, so just after that all are present.
+    assert churn.presence_at(0.0001) == ["alice", "bob"]
