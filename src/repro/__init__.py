@@ -20,6 +20,7 @@ Quick start::
 Subpackages (bottom-up):
 
 * :mod:`repro.sim` — discrete-event simulation kernel.
+* :mod:`repro.obs` — observability: causal tracing, metrics, exporters.
 * :mod:`repro.net` — packet network (links, routing, multicast, radio).
 * :mod:`repro.node` — ODP engineering objects, invocation, migration.
 * :mod:`repro.groups` — ordered group communication, membership, group RPC.

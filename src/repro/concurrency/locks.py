@@ -24,6 +24,7 @@ import itertools
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.errors import LockError
+from repro.obs.metrics import get_metrics
 from repro.sim import Counter, Environment, Event
 
 SHARED = "shared"
@@ -114,19 +115,23 @@ class LockTable:
         self.counters.incr("requests")
         if self.style == SOFT:
             self._grant_soft(key, owner, mode, event)
+            self._record_wait(0.0)
             return event
         if self.style == NOTIFICATION and mode == SHARED:
             # Readers are always admitted under notification locks.
             grant = self._install(key, owner, SHARED)
             self.counters.incr("grants")
             event.succeed(grant)
+            self._record_wait(0.0)
             return event
         if self._compatible(key, owner, mode):
             grant = self._install(key, owner, mode)
             self.counters.incr("grants")
             event.succeed(grant)
+            self._record_wait(0.0)
             return event
         if self.style == TICKLE and self._tickle(key, owner, mode, event):
+            self._record_wait(0.0)
             return event
         self.counters.incr("waits")
         self._queues.setdefault(key, []).append(
@@ -161,6 +166,7 @@ class LockTable:
             grant.mode = EXCLUSIVE
             self.counters.incr("upgrades")
             event.succeed(grant)
+            self._record_wait(0.0)
         else:
             self.counters.incr("waits")
             # Upgraders queue at the front so no later writer overtakes.
@@ -213,6 +219,15 @@ class LockTable:
         return notified
 
     # -- internals -------------------------------------------------------------
+
+    def _record_wait(self, waited: float) -> None:
+        """Feed the acquire→grant delay into the metrics registry.
+
+        Immediate grants record 0.0 so the histogram reflects the full
+        distribution, not just the contended tail.
+        """
+        get_metrics().histogram("lock.wait", style=self.style) \
+            .record(waited)
 
     def _compatible(self, key: str, owner: str, mode: str) -> bool:
         holders = self._held.get(key, [])
@@ -290,6 +305,7 @@ class LockTable:
                 queue.pop(0)
                 waiter.upgrade_of.mode = EXCLUSIVE
                 self.counters.incr("upgrades")
+                self._record_wait(self.env.now - waiter.enqueued_at)
                 waiter.event.succeed(waiter.upgrade_of)
                 continue
             if not self._compatible(key, waiter.owner, waiter.mode):
@@ -297,4 +313,5 @@ class LockTable:
             queue.pop(0)
             grant = self._install(key, waiter.owner, waiter.mode)
             self.counters.incr("grants")
+            self._record_wait(self.env.now - waiter.enqueued_at)
             waiter.event.succeed(grant)

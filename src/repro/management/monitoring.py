@@ -7,35 +7,48 @@ appropriate mechanisms are in place to support and inform such policies."*
 
 :class:`UsageMonitor` is that mechanism: it records which node invoked
 which object when, and summarises access patterns over a sliding window.
+Samples are also routed through the observability
+:class:`~repro.obs.metrics.MetricsRegistry`, so placement policies, the
+benchmarks and ``python -m repro.obs.report`` all read one data source.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.sim import Environment
 
 
 class UsageMonitor:
     """Records (object, caller node, time) access samples."""
 
-    def __init__(self, env: Environment, window: float = 60.0) -> None:
+    def __init__(self, env: Environment, window: float = 60.0,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if window <= 0:
             raise ReproError("window must be positive")
         self.env = env
         self.window = window
-        self._samples: List[Tuple[float, str, str]] = []
+        # Samples arrive in non-decreasing sim time, so expiry is a
+        # popleft loop instead of an O(n) list rebuild per query.
+        self._samples: Deque[Tuple[float, str, str]] = deque()
+        self._metrics = metrics
 
     def record(self, oid: str, caller_node: str) -> None:
         """Note one invocation of ``oid`` from ``caller_node``."""
         self._samples.append((self.env.now, oid, caller_node))
+        metrics = self._metrics if self._metrics is not None \
+            else get_metrics()
+        metrics.counter("usage.access", oid=oid, node=caller_node).add()
 
-    def _recent(self) -> List[Tuple[float, str, str]]:
+    def _recent(self) -> Deque[Tuple[float, str, str]]:
         horizon = self.env.now - self.window
-        # Drop expired samples on the way through (amortised cleanup).
-        self._samples = [s for s in self._samples if s[0] >= horizon]
-        return self._samples
+        samples = self._samples
+        while samples and samples[0][0] < horizon:
+            samples.popleft()
+        return samples
 
     def access_pattern(self, oid: str) -> Dict[str, int]:
         """Recent access counts for ``oid``, keyed by caller node."""

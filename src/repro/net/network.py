@@ -14,6 +14,9 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.errors import NetworkError, RoutingError
 from repro.net.packet import Packet
 from repro.net.topology import Topology
+from repro.obs.metrics import MetricsRegistry, get_metrics
+from repro.obs.propagation import extract
+from repro.obs.tracer import get_tracer
 from repro.sim import Counter, Environment, Store, Tally
 
 #: Default packet priority; QoS-reserved flows use lower (better) values.
@@ -78,7 +81,9 @@ class Host:
 class Network:
     """Moves packets across a topology between registered hosts."""
 
-    def __init__(self, env: Environment, topology: Topology) -> None:
+    def __init__(self, env: Environment, topology: Topology,
+                 tracer=None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if topology.env is not env:
             raise NetworkError("topology belongs to a different environment")
         self.env = env
@@ -88,6 +93,12 @@ class Network:
         self.delivery_latency = Tally("delivery-latency")
         #: Optional hook called with (packet, reason) on every drop.
         self.on_drop: Optional[Callable[[Packet, str], None]] = None
+        #: Per-reason drop tally behind :meth:`drop_stats`.
+        self._drop_reasons: Dict[str, int] = {}
+        # Instance overrides; None means "use the process-wide default",
+        # resolved per packet so tracing can be enabled mid-run.
+        self._tracer = tracer
+        self._metrics = metrics
 
     def host(self, name: str) -> Host:
         """Create (or fetch) the host attached to topology node ``name``."""
@@ -103,41 +114,84 @@ class Network:
         self.env.process(self._carry(packet))
 
     def _carry(self, packet: Packet):
+        tracer = self._tracer if self._tracer is not None else get_tracer()
+        metrics = self._metrics if self._metrics is not None \
+            else get_metrics()
+        metrics.counter("net.sent").add()
+        # Transit spans parent under whatever context the sender stamped
+        # into the packet headers (e.g. an rpc.call span), so one trace
+        # tree covers the request end to end.
+        span = tracer.start_span(
+            "net.transmit", at=self.env.now, parent=extract(packet.headers),
+            src=packet.src, dst=packet.dst, port=packet.port,
+            bytes=packet.wire_size)
         try:
             links = self.topology.path(packet.src, packet.dst)
         except RoutingError:
-            self._drop(packet, "no-route")
+            self._drop(packet, "no-route", metrics, span)
             return
         node = packet.src
         priority = packet.headers.get("priority", BEST_EFFORT_PRIORITY)
         for link in links:
+            hop = tracer.start_span(
+                "net.link", at=self.env.now, parent=span,
+                link="{}<->{}".format(link.a, link.b), node=node,
+                bytes=packet.wire_size)
             channel = link.channel(node)
             with channel.request(priority=priority) as claim:
                 yield claim
+                hop.add_event("tx-start", at=self.env.now)
                 yield self.env.timeout(
                     link.transmission_delay(packet.wire_size))
             if link.drops_packet():
                 link.stats.drops += 1
-                self._drop(packet, "loss")
+                hop.set_status("dropped")
+                hop.finish(at=self.env.now)
+                self._drop(packet, "loss" if link.up else "link-down",
+                           metrics, span)
                 return
             yield self.env.timeout(link.propagation_delay())
             link.stats.packets += 1
             link.stats.bytes += packet.wire_size
+            metrics.counter("net.bytes",
+                            link="{}<->{}".format(link.a, link.b)) \
+                .add(packet.wire_size)
             packet.hops += 1
             node = link.other_end(node)
+            hop.finish(at=self.env.now)
         target = self.hosts.get(packet.dst)
         if target is None:
-            self._drop(packet, "no-host")
+            self._drop(packet, "no-host", metrics, span)
             return
         self.counters.incr("delivered")
-        self.delivery_latency.record(self.env.now - packet.created_at)
+        metrics.counter("net.delivered").add()
+        latency = self.env.now - packet.created_at
+        self.delivery_latency.record(latency)
+        metrics.histogram("net.delivery_latency").record(latency)
+        span.finish(at=self.env.now)
         target._deliver(packet)
 
-    def _drop(self, packet: Packet, reason: str) -> None:
+    def _drop(self, packet: Packet, reason: str,
+              metrics: Optional[MetricsRegistry] = None,
+              span=None) -> None:
         self.counters.incr("dropped")
         self.counters.incr("dropped:" + reason)
+        self._drop_reasons[reason] = self._drop_reasons.get(reason, 0) + 1
+        if metrics is None:
+            metrics = self._metrics if self._metrics is not None \
+                else get_metrics()
+        metrics.counter("net.drops", reason=reason).add()
+        if span is not None:
+            span.set_status("dropped:" + reason)
+            span.set_attribute("drop_reason", reason)
+            span.finish(at=self.env.now)
         if self.on_drop is not None:
             self.on_drop(packet, reason)
+
+    def drop_stats(self) -> Dict[str, int]:
+        """Drops per reason (``loss``, ``link-down``, ``no-route``,
+        ``no-host``) since the network was created."""
+        return dict(self._drop_reasons)
 
     def total_link_bytes(self) -> int:
         """Bytes carried across every link (the E9 cost metric)."""

@@ -14,6 +14,8 @@ from typing import Any, Callable, Dict, Optional, Tuple
 from repro.errors import TransportError
 from repro.net.network import Host
 from repro.net.packet import Packet
+from repro.obs.propagation import extract, inject
+from repro.obs.tracer import get_tracer
 from repro.sim import Event, Store
 
 
@@ -141,35 +143,50 @@ class RpcEndpoint:
         self._handlers[method] = handler
 
     def call(self, dst: str, method: str, args: Any = None,
-             timeout: Optional[float] = None) -> Event:
-        """Invoke ``method`` at ``dst``; the event fires with the result."""
+             timeout: Optional[float] = None, parent=None) -> Event:
+        """Invoke ``method`` at ``dst``; the event fires with the result.
+
+        ``parent`` optionally names the caller's span (or span context);
+        the call's trace context then rides the request packet so the
+        remote side and every link hop join the same trace tree.
+        """
         done = self.env.event()
         self.env.process(self._call_proc(
             dst, method, args,
-            self.default_timeout if timeout is None else timeout, done))
+            self.default_timeout if timeout is None else timeout, done,
+            parent))
         return done
 
     # -- internals ---------------------------------------------------------
 
     def _call_proc(self, dst: str, method: str, args: Any,
-                   timeout: float, done: Event):
+                   timeout: float, done: Event, parent=None):
         call_id = next(self._call_ids)
         reply = self.env.event()
         self._calls[call_id] = reply
+        span = get_tracer().start_span(
+            "rpc.call", at=self.env.now, parent=parent,
+            node=self.host.name, dst=dst, method=method)
         self.host.send(dst, payload={"method": method, "args": args},
                        size=self.request_size, port=self.port,
-                       headers={"type": "request", "call": call_id})
+                       headers=inject(span, {"type": "request",
+                                             "call": call_id}))
         result = yield self.env.any_of(
             [reply, self.env.timeout(timeout)])
         self._calls.pop(call_id, None)
         if reply not in result:
+            span.set_status("error")
+            span.set_attribute("error", "timeout")
+            span.finish(at=self.env.now)
             done.fail(RpcError("call {} to {} timed out after {:g}s".format(
                 method, dst, timeout)))
             return
         ok, value = reply.value
+        span.finish(at=self.env.now)
         if ok:
             done.succeed(value)
         else:
+            span.set_status("error")
             done.fail(RemoteException(value))
 
     def _on_packet(self, packet: Packet) -> None:
@@ -184,6 +201,12 @@ class RpcEndpoint:
     def _serve(self, packet: Packet):
         method = packet.payload["method"]
         args = packet.payload["args"]
+        # The serving span parents under the caller's rpc.call context
+        # carried by the request packet; its duration is the remote
+        # execution time.
+        span = get_tracer().start_span(
+            "rpc.serve", at=self.env.now, parent=extract(packet.headers),
+            node=self.host.name, caller=packet.src, method=method)
         handler = self._handlers.get(method)
         if handler is None:
             outcome = (False, "no such method: {}".format(method))
@@ -197,7 +220,11 @@ class RpcEndpoint:
                 outcome = (False, "{}: {}".format(
                     type(error).__name__, error))
         self.calls_served += 1
+        if not outcome[0]:
+            span.set_status("error")
+        span.finish(at=self.env.now)
         self.host.send(packet.src, payload=outcome,
                        size=self.response_size, port=self.port,
-                       headers={"type": "response",
-                                "call": packet.headers["call"]})
+                       headers=inject(span, {
+                           "type": "response",
+                           "call": packet.headers["call"]}))

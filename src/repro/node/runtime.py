@@ -15,6 +15,8 @@ from repro.errors import NodeError, PlacementError
 from repro.net.network import Host, Network
 from repro.net.transport import RemoteException, RpcEndpoint, RpcError
 from repro.node.objects import Capsule, Cluster, EngineeringObject
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 from repro.sim import Event
 
 RPC_PORT = 10
@@ -94,66 +96,106 @@ class Nucleus:
     # -- invocation ----------------------------------------------------------
 
     def invoke(self, oid: str, op: str, args: Any = None,
-               timeout: float = 10.0) -> Event:
+               timeout: float = 10.0, parent: Any = None) -> Event:
         """Invoke ``op`` on the (possibly remote) object ``oid``.
 
         Location transparency: local objects short-circuit the network; for
         remote ones the cached location is tried first, then the registry,
         chasing at most two stale-location misses (e.g. mid-migration).
+
+        ``parent`` optionally names the caller's span (or span context) so
+        application code can root the invocation's trace under its own
+        activity (e.g. a think-time span).
         """
         done = self.env.event()
-        self.env.process(self._invoke_proc(oid, op, args, timeout, done))
+        self.env.process(
+            self._invoke_proc(oid, op, args, timeout, done, parent))
         return done
 
     def _invoke_proc(self, oid: str, op: str, args: Any,
-                     timeout: float, done: Event):
+                     timeout: float, done: Event, parent: Any = None):
+        start = self.env.now
+        metrics = get_metrics()
+        span = get_tracer().start_span(
+            "node.invoke", at=start, parent=parent,
+            node=self.node_name, oid=oid, op=op)
         local = self.find_object(oid)
         if local is not None:
+            span.set_attribute("target", "local")
+            metrics.counter("node.invocations", node=self.node_name,
+                            kind="local").add()
             try:
                 result = local.invoke_local(self.node_name, op, args)
                 if hasattr(result, "send") and hasattr(result, "throw"):
                     result = yield self.env.process(result)
+                span.finish(at=self.env.now)
                 done.succeed(result)
             except Exception as error:  # noqa: BLE001 - surfaced to caller
+                span.set_status("error")
+                span.finish(at=self.env.now)
                 done.fail(error if isinstance(error, NodeError)
                           else NodeError(str(error)))
             return
+        span.set_attribute("target", "remote")
+        metrics.counter("node.invocations", node=self.node_name,
+                        kind="remote").add()
         attempts = 0
         while attempts < 3:
             location = self._location_cache.get(oid)
             if location is None:
-                location = yield from self._whereis(oid, timeout)
+                location = yield from self._whereis(oid, timeout, span)
                 if location is None:
+                    span.set_status("error")
+                    span.finish(at=self.env.now)
                     done.fail(NodeError("unknown object " + oid))
                     return
                 self._location_cache[oid] = location
             try:
                 result = yield self.rpc.call(
                     location, "invoke",
-                    {"oid": oid, "op": op, "args": args}, timeout=timeout)
+                    {"oid": oid, "op": op, "args": args}, timeout=timeout,
+                    parent=span)
             except RemoteException as error:
                 if "object-not-here" in str(error):
+                    span.add_event("stale-location", at=self.env.now,
+                                   location=location)
                     self._location_cache.pop(oid, None)
                     attempts += 1
                     continue
+                span.set_status("error")
+                span.finish(at=self.env.now)
                 done.fail(NodeError(str(error)))
                 return
             except RpcError as error:
+                span.set_status("error")
+                span.finish(at=self.env.now)
                 done.fail(NodeError(str(error)))
                 return
+            span.finish(at=self.env.now)
+            metrics.histogram("rpc.latency", node=self.node_name) \
+                .record(self.env.now - start)
             done.succeed(result)
             return
+        span.set_status("error")
+        span.finish(at=self.env.now)
         done.fail(NodeError(
             "could not locate object {} after migration chase".format(oid)))
 
-    def _whereis(self, oid: str, timeout: float):
+    def _whereis(self, oid: str, timeout: float, parent: Any = None):
         if self.registry is not None:
             return self.registry.lookup(oid)
+        span = get_tracer().start_span(
+            "node.whereis", at=self.env.now, parent=parent,
+            node=self.node_name, oid=oid)
         try:
             location = yield self.rpc.call(
-                self.registry_node, "whereis", oid, timeout=timeout)
+                self.registry_node, "whereis", oid, timeout=timeout,
+                parent=span)
         except (RpcError, RemoteException):
+            span.set_status("error")
+            span.finish(at=self.env.now)
             return None
+        span.finish(at=self.env.now)
         return location
 
     # -- migration -----------------------------------------------------------
@@ -180,6 +222,9 @@ class Nucleus:
                     cluster.name, self.node_name)))
             return
         size = cluster.state_size
+        span = get_tracer().start_span(
+            "node.migrate", at=self.env.now, node=self.node_name,
+            cluster=cluster.name, target=target_node, bytes=size)
         capsule.remove_cluster(cluster.cluster_id)
         snapshot = {
             "name": cluster.name,
@@ -192,10 +237,12 @@ class Nucleus:
         }
         try:
             yield self.rpc.call(target_node, "migrate_in", snapshot,
-                                timeout=timeout)
+                                timeout=timeout, parent=span)
         except (RpcError, RemoteException) as error:
             # Roll back: reinstall locally.
             capsule.add_cluster(cluster)
+            span.set_status("error")
+            span.finish(at=self.env.now)
             done.fail(PlacementError("migration failed: {}".format(error)))
             return
         # Charge the bulk state transfer (snapshot payloads are modelled
@@ -203,6 +250,8 @@ class Nucleus:
         yield from self._charge_transfer(target_node, size)
         for obj in cluster.objects.values():
             yield from self._update_registry(obj.oid, target_node)
+        span.finish(at=self.env.now)
+        get_metrics().counter("node.migrations", node=self.node_name).add()
         done.succeed(target_node)
 
     def _charge_transfer(self, target_node: str, size: int):

@@ -1,0 +1,85 @@
+"""Observability: causal tracing, the metrics registry and exporters.
+
+The paper's management requirement (§4.2.1) — *"management functions
+must be aware of the pattern of use of objects"* — needs a measurement
+substrate.  This package provides it for every layer of the middleware:
+
+* **Tracing** — :class:`Tracer` / :class:`Span` build causal trees across
+  nucleus invocation, packet transit and remote execution, with contexts
+  propagated through packet headers (:mod:`repro.obs.propagation`).  The
+  process default is a zero-cost :class:`NoopTracer`; call
+  :func:`enable_tracing` to collect.
+* **Metrics** — :class:`MetricsRegistry` unifies counters, histograms and
+  gauges behind named, labelled instruments with one :meth:`snapshot()
+  <MetricsRegistry.snapshot>`.
+* **Export** — :func:`dump_jsonl` (machine-readable) and
+  :func:`dump_chrome_trace` (opens in ``about:tracing`` / Perfetto), plus
+  the ``python -m repro.obs.report`` CLI for latency/traffic tables.
+
+Quick start::
+
+    from repro import obs
+
+    tracer = obs.enable_tracing()
+    ... run any simulation ...
+    obs.dump_jsonl("run.jsonl", tracer=tracer)
+    obs.dump_chrome_trace("run.trace.json", tracer=tracer)
+    obs.disable_tracing()
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    dump_chrome_trace,
+    dump_jsonl,
+    load_jsonl,
+)
+from repro.obs.metrics import (
+    CounterInstrument,
+    GaugeInstrument,
+    HistogramInstrument,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+from repro.obs.propagation import TRACE_HEADER, extract, inject
+from repro.obs.span import NOOP_SPAN, NoopSpan, Span, SpanContext
+from repro.obs.tracer import (
+    NOOP_TRACER,
+    NoopTracer,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "CounterInstrument",
+    "GaugeInstrument",
+    "HistogramInstrument",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "NOOP_TRACER",
+    "NoopSpan",
+    "NoopTracer",
+    "Span",
+    "SpanContext",
+    "TRACE_HEADER",
+    "Tracer",
+    "chrome_trace",
+    "disable_tracing",
+    "dump_chrome_trace",
+    "dump_jsonl",
+    "enable_tracing",
+    "extract",
+    "get_metrics",
+    "get_tracer",
+    "inject",
+    "load_jsonl",
+    "set_metrics",
+    "set_tracer",
+    "use_metrics",
+    "use_tracer",
+]

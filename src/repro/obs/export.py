@@ -1,0 +1,110 @@
+"""Exporters: JSONL span/metric dumps and Chrome ``trace_event`` JSON.
+
+The JSONL form is the machine-readable record the report CLI consumes —
+one JSON object per line, ``{"kind": "span", ...}`` or
+``{"kind": "metric", ...}``.  The Chrome form opens directly in
+``about:tracing`` / Perfetto: spans become complete (``"ph": "X"``)
+events, grouped into one pseudo-thread per node, with simulated seconds
+mapped onto microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry, get_metrics
+from repro.obs.span import Span
+from repro.obs.tracer import NoopTracer, Tracer, get_tracer
+
+#: Chrome trace timestamps are microseconds; simulated time is seconds.
+MICROSECONDS = 1e6
+
+
+def span_record(span: Span) -> Dict[str, Any]:
+    """One JSONL row for a span."""
+    record = span.to_dict()
+    record["kind"] = "span"
+    return record
+
+
+def dump_jsonl(path: str, tracer: Optional[Tracer] = None,
+               metrics: Optional[MetricsRegistry] = None) -> int:
+    """Write spans then metrics to ``path``; returns the line count.
+
+    With no explicit ``tracer``/``metrics`` the process-wide defaults are
+    exported (the no-op tracer exports zero span lines).
+    """
+    tracer = tracer if tracer is not None else get_tracer()
+    metrics = metrics if metrics is not None else get_metrics()
+    lines = 0
+    with open(path, "w") as handle:
+        for span in tracer.spans:
+            handle.write(json.dumps(span_record(span)) + "\n")
+            lines += 1
+        for record in metrics.records():
+            handle.write(json.dumps(record) + "\n")
+            lines += 1
+    return lines
+
+
+def load_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL dump back into a list of records."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def chrome_trace(tracer: Optional[Tracer] = None) -> Dict[str, Any]:
+    """Spans as a Chrome ``trace_event`` document (a plain dict).
+
+    Each node name found in span attributes becomes its own ``tid`` so
+    Perfetto lays traces out one row per node; spans without a node land
+    on tid 0.  Unfinished spans are exported with zero duration.
+    """
+    tracer = tracer if tracer is not None else get_tracer()
+    if isinstance(tracer, NoopTracer):
+        return {"traceEvents": []}
+    tids: Dict[str, int] = {}
+    events: List[Dict[str, Any]] = []
+    for span in tracer.spans:
+        node = str(span.attributes.get("node",
+                                       span.attributes.get("src", "")))
+        if node not in tids:
+            tids[node] = len(tids)
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": 1,
+                "tid": tids[node],
+                "args": {"name": node or "(unattributed)"},
+            })
+        end = span.end if span.end is not None else span.start
+        args = dict(span.attributes)
+        args["trace_id"] = span.trace_id
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.status != "ok":
+            args["status"] = span.status
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.name.split(".")[0],
+            "pid": 1,
+            "tid": tids[node],
+            "ts": span.start * MICROSECONDS,
+            "dur": (end - span.start) * MICROSECONDS,
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def dump_chrome_trace(path: str, tracer: Optional[Tracer] = None) -> int:
+    """Write the Chrome trace document to ``path``; returns event count."""
+    document = chrome_trace(tracer)
+    with open(path, "w") as handle:
+        json.dump(document, handle)
+    return len(document["traceEvents"])

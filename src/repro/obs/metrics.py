@@ -1,0 +1,209 @@
+"""The metrics registry: named, labelled instruments with one snapshot.
+
+Unifies the ad-hoc probes (:class:`~repro.sim.monitor.Tally`,
+:class:`~repro.sim.monitor.Counter`, :class:`~repro.sim.monitor.TimeSeries`)
+behind named instruments with labels::
+
+    metrics = obs.get_metrics()
+    metrics.counter("net.drops", reason="loss").add()
+    metrics.histogram("rpc.latency", node="host1").record(0.012)
+    metrics.snapshot()   # one dict for benchmark tables / JSONL export
+
+Instruments are created on first use and cached by ``(name, labels)``.
+Recording never touches the simulation clock or RNG streams, so enabling
+metrics cannot change experiment output.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.sim.monitor import Tally, TimeSeries
+
+LabelKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Dict[str, Any]) -> LabelKey:
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+def _render(key: LabelKey) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    return "{}{{{}}}".format(
+        name, ",".join("{}={}".format(k, v) for k, v in labels))
+
+
+class CounterInstrument:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...]
+                 ) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return "<Counter {}={}>".format(self.name, self.value)
+
+
+class HistogramInstrument:
+    """A distribution of observations (backed by a Tally)."""
+
+    __slots__ = ("name", "labels", "tally")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...]
+                 ) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.tally = Tally(name)
+
+    def record(self, value: float) -> None:
+        self.tally.record(value)
+
+    @property
+    def count(self) -> int:
+        return self.tally.count
+
+    @property
+    def mean(self) -> float:
+        return self.tally.mean
+
+    def summary(self) -> Dict[str, float]:
+        return self.tally.summary()
+
+    def __repr__(self) -> str:
+        return "<Histogram {} n={}>".format(self.name, self.tally.count)
+
+
+class GaugeInstrument:
+    """A sampled value over simulated time (backed by a TimeSeries)."""
+
+    __slots__ = ("name", "labels", "series")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...]
+                 ) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.series = TimeSeries(name)
+
+    def set(self, value: float, at: float) -> None:
+        self.series.record(at, value)
+
+    @property
+    def last(self) -> float:
+        return self.series.samples[-1][1] if self.series.samples else 0.0
+
+    def __repr__(self) -> str:
+        return "<Gauge {}={}>".format(self.name, self.last)
+
+
+class MetricsRegistry:
+    """All instruments for one collection scope, keyed by name + labels."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[LabelKey, CounterInstrument] = {}
+        self._histograms: Dict[LabelKey, HistogramInstrument] = {}
+        self._gauges: Dict[LabelKey, GaugeInstrument] = {}
+
+    # -- instrument factories (create-on-first-use, cached) ----------------
+
+    def counter(self, name: str, **labels: Any) -> CounterInstrument:
+        key = _key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = CounterInstrument(
+                name, key[1])
+        return instrument
+
+    def histogram(self, name: str, **labels: Any) -> HistogramInstrument:
+        key = _key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = HistogramInstrument(
+                name, key[1])
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> GaugeInstrument:
+        key = _key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = GaugeInstrument(name, key[1])
+        return instrument
+
+    # -- querying ----------------------------------------------------------
+
+    def counters(self, name: Optional[str] = None
+                 ) -> Dict[str, int]:
+        """Counter values, optionally restricted to one instrument name."""
+        return {_render(key): instrument.value
+                for key, instrument in sorted(self._counters.items())
+                if name is None or key[0] == name}
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Everything, as one nested dict for tables and assertions."""
+        return {
+            "counters": {_render(key): inst.value
+                         for key, inst in sorted(self._counters.items())},
+            "histograms": {_render(key): inst.summary()
+                           for key, inst in
+                           sorted(self._histograms.items())},
+            "gauges": {_render(key): inst.last
+                       for key, inst in sorted(self._gauges.items())},
+        }
+
+    def records(self) -> Iterator[Dict[str, Any]]:
+        """Flat metric records for the JSONL exporter."""
+        for key, counter in sorted(self._counters.items()):
+            yield {"kind": "metric", "type": "counter", "name": key[0],
+                   "labels": dict(key[1]), "value": counter.value}
+        for key, hist in sorted(self._histograms.items()):
+            yield {"kind": "metric", "type": "histogram", "name": key[0],
+                   "labels": dict(key[1]), "summary": hist.summary()}
+        for key, gauge in sorted(self._gauges.items()):
+            yield {"kind": "metric", "type": "gauge", "name": key[0],
+                   "labels": dict(key[1]), "value": gauge.last,
+                   "samples": len(gauge.series.samples)}
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._histograms.clear()
+        self._gauges.clear()
+
+    def __repr__(self) -> str:
+        return "<MetricsRegistry counters={} histograms={} gauges={}>".format(
+            len(self._counters), len(self._histograms), len(self._gauges))
+
+
+_metrics = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide registry consulted by instrumentation sites."""
+    return _metrics
+
+
+def set_metrics(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install ``registry`` (``None`` installs a fresh one); returns the
+    previous one."""
+    global _metrics
+    previous = _metrics
+    _metrics = registry if registry is not None else MetricsRegistry()
+    return previous
+
+
+@contextlib.contextmanager
+def use_metrics(registry: MetricsRegistry):
+    """Scope ``registry`` as the process default, restoring on exit."""
+    previous = set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_metrics(previous)

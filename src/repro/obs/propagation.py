@@ -1,0 +1,36 @@
+"""Trace-context propagation through packet headers.
+
+The simulated network carries arbitrary header dicts on every
+:class:`~repro.net.packet.Packet`; the trace context rides under one
+reserved key as a plain ``{"trace_id", "span_id"}`` dict, so it survives
+any serialisation the transport applies (it is already JSON-safe).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Union
+
+from repro.obs.span import NoopSpan, Span, SpanContext
+
+#: The packet-header key carrying the trace context.
+TRACE_HEADER = "trace"
+
+
+def inject(span: Union[Span, NoopSpan, SpanContext, None],
+           headers: Dict[str, Any]) -> Dict[str, Any]:
+    """Write ``span``'s context into ``headers`` (no-op for noop spans)."""
+    context = span if isinstance(span, SpanContext) \
+        else getattr(span, "context", None)
+    if context is not None:
+        headers[TRACE_HEADER] = context.to_dict()
+    return headers
+
+
+def extract(headers: Optional[Dict[str, Any]]) -> Optional[SpanContext]:
+    """Read a trace context out of packet ``headers``, if present."""
+    if not headers:
+        return None
+    data = headers.get(TRACE_HEADER)
+    if not data:
+        return None
+    return SpanContext.from_dict(data)

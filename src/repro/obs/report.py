@@ -1,0 +1,160 @@
+"""Report CLI: latency and traffic tables from a JSONL observability dump.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.obs.report run.jsonl
+
+Reads the spans and metrics written by
+:func:`repro.obs.export.dump_jsonl` and prints per-operation,
+per-node and per-object latency tables plus a traffic/drop summary —
+the "pattern of use" view §4.2.1 of the paper asks management
+functions to maintain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, Iterable, List, Sequence
+
+from repro.obs.export import load_jsonl
+from repro.sim.monitor import Tally
+
+
+def _table(title: str, headers: Sequence[str],
+           rows: Iterable[Sequence[Any]], out=None) -> None:
+    out = out if out is not None else sys.stdout
+    rendered = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        widths = [max(w, len(cell)) for w, cell in zip(widths, row)]
+    line = "  ".join("{:<{w}}".format(h, w=w)
+                     for h, w in zip(headers, widths))
+    out.write("\n" + title + "\n")
+    out.write("-" * len(line) + "\n")
+    out.write(line + "\n")
+    for row in rendered:
+        out.write("  ".join("{:<{w}}".format(cell, w=w)
+                            for cell, w in zip(row, widths)) + "\n")
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return "{:.4g}".format(cell)
+    return str(cell)
+
+
+def _durations(spans: Iterable[Dict[str, Any]], group_attr: str = None,
+               ) -> Dict[str, Tally]:
+    """Group finished spans into duration tallies.
+
+    ``group_attr`` of ``None`` groups by span name; otherwise by that
+    attribute (spans lacking it are skipped).
+    """
+    groups: Dict[str, Tally] = {}
+    for span in spans:
+        if span.get("end") is None:
+            continue
+        if group_attr is None:
+            key = span["name"]
+        else:
+            key = span.get("attributes", {}).get(group_attr)
+            if key is None:
+                continue
+            key = str(key)
+        groups.setdefault(key, Tally(key)).record(
+            span["end"] - span["start"])
+    return groups
+
+
+def render_report(records: List[Dict[str, Any]], out=None) -> None:
+    """Print every table the dump supports to ``out`` (default stdout)."""
+    out = out if out is not None else sys.stdout
+    spans = [r for r in records if r.get("kind") == "span"]
+    metrics = [r for r in records if r.get("kind") == "metric"]
+    traces = {s["trace_id"] for s in spans}
+    out.write("{} spans in {} traces, {} metric records\n".format(
+        len(spans), len(traces), len(metrics)))
+
+    by_name = _durations(spans)
+    _table("spans by operation",
+           ["operation", "count", "mean (s)", "p95 (s)", "max (s)"],
+           [(name, tally.count, tally.mean, tally.p95, tally.maximum)
+            for name, tally in sorted(by_name.items())], out)
+
+    invokes = [s for s in spans if s["name"] in
+               ("node.invoke", "rpc.serve")]
+    by_node = _durations(invokes, "node")
+    if by_node:
+        _table("invocation latency by node",
+               ["node", "count", "mean (s)", "p95 (s)"],
+               [(node, tally.count, tally.mean, tally.p95)
+                for node, tally in sorted(by_node.items())], out)
+    by_object = _durations(invokes, "oid")
+    if by_object:
+        _table("invocation latency by object",
+               ["object", "count", "mean (s)", "p95 (s)"],
+               [(oid, tally.count, tally.mean, tally.p95)
+                for oid, tally in sorted(by_object.items())], out)
+
+    transits = [s for s in spans if s["name"] == "net.transmit"]
+    traffic: Dict[str, List[float]] = {}
+    for span in transits:
+        attrs = span.get("attributes", {})
+        src = str(attrs.get("src", "?"))
+        row = traffic.setdefault(src, [0, 0, 0])
+        row[0] += 1
+        row[1] += attrs.get("bytes", 0)
+        if str(span.get("status", "ok")).startswith("dropped"):
+            row[2] += 1
+    if traffic:
+        _table("traffic by source node",
+               ["node", "packets", "bytes", "dropped"],
+               [(src, int(c), int(b), int(d))
+                for src, (c, b, d) in sorted(traffic.items())], out)
+
+    counters = [m for m in metrics if m.get("type") == "counter"]
+    if counters:
+        _table("counters", ["name", "labels", "value"],
+               [(m["name"],
+                 ",".join("{}={}".format(k, v)
+                          for k, v in sorted(m["labels"].items())) or "-",
+                 m["value"]) for m in counters], out)
+    histograms = [m for m in metrics if m.get("type") == "histogram"]
+    if histograms:
+        _table("histograms",
+               ["name", "labels", "count", "mean", "p95"],
+               [(m["name"],
+                 ",".join("{}={}".format(k, v)
+                          for k, v in sorted(m["labels"].items())) or "-",
+                 int(m["summary"]["count"]), m["summary"]["mean"],
+                 m["summary"]["p95"]) for m in histograms], out)
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Summarise a repro observability JSONL dump.")
+    parser.add_argument("dump", help="path to a dump_jsonl() file")
+    options = parser.parse_args(argv)
+    try:
+        records = load_jsonl(options.dump)
+    except OSError as exc:
+        print("error: cannot read {}: {}".format(options.dump, exc),
+              file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print("error: {} is not a JSONL dump: {}".format(options.dump, exc),
+              file=sys.stderr)
+        return 2
+    try:
+        render_report(records)
+    except BrokenPipeError:
+        # Reader (e.g. ``| head``) closed the pipe early; not an error.
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

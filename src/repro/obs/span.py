@@ -1,0 +1,169 @@
+"""Spans: the unit of causal tracing.
+
+A :class:`Span` records one timed operation (an invocation, a packet
+transit, a lock wait) with parent/child links, so a whole distributed
+interaction — caller think-time, serialisation, per-link transit, remote
+execution — reads as one tree.  Timestamps are *simulated* seconds taken
+from :attr:`Environment.now <repro.sim.Environment.now>` by the
+instrumentation sites; the tracing layer never advances the clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+#: Span status values.
+OK = "ok"
+DROPPED = "dropped"
+ERROR = "error"
+
+
+class SpanContext:
+    """The propagatable identity of a span: ``(trace_id, span_id)``.
+
+    Contexts cross the simulated network inside packet headers (see
+    :mod:`repro.obs.propagation`), so a remote nucleus can parent its
+    serving span under the calling span.
+    """
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def to_dict(self) -> Dict[str, str]:
+        """A JSON-serialisable form, safe to place in packet headers."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, str]) -> "SpanContext":
+        return cls(data["trace_id"], data["span_id"])
+
+    def __repr__(self) -> str:
+        return "<SpanContext {}/{}>".format(self.trace_id, self.span_id)
+
+
+class Span:
+    """One recorded operation in a trace tree."""
+
+    __slots__ = ("name", "context", "parent_id", "start", "end",
+                 "attributes", "events", "status")
+
+    def __init__(self, name: str, context: SpanContext,
+                 parent_id: Optional[str], start: float,
+                 attributes: Optional[Dict[str, Any]] = None) -> None:
+        self.name = name
+        self.context = context
+        self.parent_id = parent_id
+        self.start = start
+        self.end: Optional[float] = None
+        self.attributes: Dict[str, Any] = attributes or {}
+        self.events: List[Dict[str, Any]] = []
+        self.status = OK
+
+    @property
+    def is_recording(self) -> bool:
+        return True
+
+    @property
+    def trace_id(self) -> str:
+        return self.context.trace_id
+
+    @property
+    def span_id(self) -> str:
+        return self.context.span_id
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to finish (0.0 while unfinished)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def add_event(self, name: str, at: float, **attributes: Any) -> None:
+        """Record a point-in-time annotation on the span."""
+        event: Dict[str, Any] = {"name": name, "at": at}
+        if attributes:
+            event.update(attributes)
+        self.events.append(event)
+
+    def set_status(self, status: str) -> None:
+        self.status = status
+
+    def finish(self, at: float) -> None:
+        """Close the span at simulated time ``at`` (idempotent)."""
+        if self.end is None:
+            self.end = at
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable record (the JSONL export row)."""
+        record: Dict[str, Any] = {
+            "name": self.name,
+            "trace_id": self.context.trace_id,
+            "span_id": self.context.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+        }
+        if self.attributes:
+            record["attributes"] = dict(self.attributes)
+        if self.events:
+            record["events"] = list(self.events)
+        return record
+
+    def __repr__(self) -> str:
+        return "<Span {} {} [{:.6g}..{}]>".format(
+            self.name, self.context.span_id, self.start,
+            "{:.6g}".format(self.end) if self.end is not None else "?")
+
+
+class NoopSpan:
+    """The do-nothing span handed out by the disabled tracer.
+
+    Every mutator is a no-op and :attr:`context` is ``None`` so nothing is
+    ever injected into packet headers.  A single shared instance serves
+    every call site, keeping the disabled path allocation-free.
+    """
+
+    __slots__ = ()
+
+    context = None
+    parent_id = None
+    name = ""
+    status = OK
+    start = 0.0
+    end = 0.0
+    attributes: Dict[str, Any] = {}
+    events: List[Dict[str, Any]] = []
+
+    @property
+    def is_recording(self) -> bool:
+        return False
+
+    @property
+    def duration(self) -> float:
+        return 0.0
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def add_event(self, name: str, at: float, **attributes: Any) -> None:
+        pass
+
+    def set_status(self, status: str) -> None:
+        pass
+
+    def finish(self, at: float) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "<NoopSpan>"
+
+
+#: The shared disabled-tracer span.
+NOOP_SPAN = NoopSpan()

@@ -1,0 +1,176 @@
+"""Tracers: span factories plus the process-wide default.
+
+The default tracer is a :class:`NoopTracer`, so instrumented hot paths in
+the simulator cost nothing beyond a method call and never perturb
+benchmark output.  Enable collection with::
+
+    from repro import obs
+
+    tracer = obs.enable_tracing()     # installs a recording Tracer
+    ... run a simulation ...
+    obs.dump_jsonl("run.jsonl", tracer=tracer)
+
+Span ids are small deterministic counters (``t3``/``s17``), so traces are
+reproducible run to run — a property the rest of the repo's deterministic
+simulations rely on.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.span import NOOP_SPAN, NoopSpan, Span, SpanContext
+
+ParentLike = Union[Span, SpanContext, Dict[str, str], None]
+
+
+class Tracer:
+    """Creates and retains spans; one instance per collection scope."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def start_span(self, name: str, at: float, parent: ParentLike = None,
+                   **attributes: Any) -> Span:
+        """Open a span at simulated time ``at``.
+
+        ``parent`` may be another :class:`Span`, a :class:`SpanContext`, a
+        plain context dict (as extracted from packet headers) or ``None``
+        for a new root.  NoopSpan parents are treated as roots.
+        """
+        parent_ctx = _as_context(parent)
+        if parent_ctx is None:
+            trace_id = "t{}".format(next(self._trace_ids))
+            parent_id = None
+        else:
+            trace_id = parent_ctx.trace_id
+            parent_id = parent_ctx.span_id
+        context = SpanContext(trace_id, "s{}".format(next(self._span_ids)))
+        span = Span(name, context, parent_id, at, attributes or None)
+        self.spans.append(span)
+        return span
+
+    @contextlib.contextmanager
+    def span(self, name: str, env, parent: ParentLike = None,
+             **attributes: Any):
+        """Context manager: open at ``env.now``, finish at exit."""
+        span = self.start_span(name, at=env.now, parent=parent,
+                               **attributes)
+        try:
+            yield span
+        finally:
+            span.finish(at=env.now)
+
+    def finished_spans(self) -> List[Span]:
+        """Spans whose :meth:`~repro.obs.span.Span.finish` has run."""
+        return [span for span in self.spans if span.end is not None]
+
+    def trace(self, trace_id: str) -> List[Span]:
+        """All spans belonging to one trace, in creation order."""
+        return [span for span in self.spans
+                if span.context.trace_id == trace_id]
+
+    def clear(self) -> None:
+        self.spans = []
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:
+        return "<Tracer spans={}>".format(len(self.spans))
+
+
+class NoopTracer:
+    """The disabled tracer: records nothing, allocates nothing."""
+
+    spans: List[Span] = []
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def start_span(self, name: str, at: float, parent: ParentLike = None,
+                   **attributes: Any) -> NoopSpan:
+        return NOOP_SPAN
+
+    @contextlib.contextmanager
+    def span(self, name: str, env, parent: ParentLike = None,
+             **attributes: Any):
+        yield NOOP_SPAN
+
+    def finished_spans(self) -> List[Span]:
+        return []
+
+    def trace(self, trace_id: str) -> List[Span]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "<NoopTracer>"
+
+
+#: The shared disabled tracer (the process default).
+NOOP_TRACER = NoopTracer()
+
+_tracer: Union[Tracer, NoopTracer] = NOOP_TRACER
+
+
+def get_tracer() -> Union[Tracer, NoopTracer]:
+    """The process-wide tracer consulted by instrumentation sites."""
+    return _tracer
+
+
+def set_tracer(tracer: Optional[Union[Tracer, NoopTracer]]
+               ) -> Union[Tracer, NoopTracer]:
+    """Install ``tracer`` (``None`` disables); returns the previous one."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer if tracer is not None else NOOP_TRACER
+    return previous
+
+
+def enable_tracing() -> Tracer:
+    """Install and return a fresh recording tracer."""
+    tracer = Tracer()
+    set_tracer(tracer)
+    return tracer
+
+
+def disable_tracing() -> None:
+    """Restore the zero-cost no-op default."""
+    set_tracer(NOOP_TRACER)
+
+
+@contextlib.contextmanager
+def use_tracer(tracer: Union[Tracer, NoopTracer]):
+    """Scope ``tracer`` as the process default, restoring on exit."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def _as_context(parent: ParentLike) -> Optional[SpanContext]:
+    if parent is None or isinstance(parent, NoopSpan):
+        return None
+    if isinstance(parent, Span):
+        return parent.context
+    if isinstance(parent, SpanContext):
+        return parent
+    if isinstance(parent, dict):
+        return SpanContext.from_dict(parent)
+    raise TypeError("cannot parent a span under {!r}".format(parent))

@@ -39,6 +39,9 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        # Event-loop counters: plain ints so the hot path stays cheap.
+        self.events_scheduled = 0
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -78,6 +81,7 @@ class Environment:
                  delay: float = 0.0) -> None:
         """Queue ``event`` to fire ``delay`` seconds from now."""
         self._eid += 1
+        self.events_scheduled += 1
         heapq.heappush(self._queue,
                        (self._now + delay, priority, self._eid, event))
 
@@ -93,6 +97,7 @@ class Environment:
             self._now, _, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule("no more events")
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -136,6 +141,15 @@ class Environment:
             return None
 
     # -- convenience -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Event-loop counters (for the observability snapshot)."""
+        return {
+            "now": self._now,
+            "events_scheduled": self.events_scheduled,
+            "events_processed": self.events_processed,
+            "queue_depth": len(self._queue),
+        }
 
     def run_all(self, limit: float = 1e9) -> None:
         """Drain the queue, guarding against runaway simulations."""

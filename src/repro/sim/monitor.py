@@ -161,7 +161,14 @@ class TimeSeries:
 def histogram(values: Sequence[float], bins: int = 10,
               low: Optional[float] = None,
               high: Optional[float] = None) -> List[Tuple[float, float, int]]:
-    """Bin ``values`` into (lo, hi, count) triples for plain-text display."""
+    """Bin ``values`` into (lo, hi, count) triples for plain-text display.
+
+    When an explicit ``low``/``high`` range is narrower than the data,
+    out-of-range values are *not* silently clamped into the edge bins:
+    they are reported in extra ``(-inf, low)`` / ``(high, inf)``
+    underflow/overflow bins (present only when non-empty).  Values equal
+    to ``high`` land in the last regular bin.
+    """
     if bins <= 0:
         raise ValueError("bins must be positive")
     if not values:
@@ -169,15 +176,36 @@ def histogram(values: Sequence[float], bins: int = 10,
     lo = min(values) if low is None else low
     hi = max(values) if high is None else high
     if hi <= lo:
-        return [(lo, hi, len(values))]
+        hi = lo
+        inside = [v for v in values if v == lo] if low is not None \
+            or high is not None else list(values)
+        underflow = sum(1 for v in values if v < lo)
+        overflow = len(values) - underflow - len(inside)
+        result = [(lo, hi, len(inside))]
+        if underflow:
+            result.insert(0, (float("-inf"), lo, underflow))
+        if overflow:
+            result.append((hi, float("inf"), overflow))
+        return result
     width = (hi - lo) / bins
     counts = [0] * bins
+    underflow = 0
+    overflow = 0
     for value in values:
+        if value < lo:
+            underflow += 1
+            continue
+        if value > hi:
+            overflow += 1
+            continue
         index = int((value - lo) / width)
         if index >= bins:
             index = bins - 1
-        if index < 0:
-            index = 0
         counts[index] += 1
-    return [(lo + i * width, lo + (i + 1) * width, counts[i])
-            for i in range(bins)]
+    result = [(lo + i * width, lo + (i + 1) * width, counts[i])
+              for i in range(bins)]
+    if underflow:
+        result.insert(0, (float("-inf"), lo, underflow))
+    if overflow:
+        result.append((hi, float("inf"), overflow))
+    return result

@@ -51,6 +51,33 @@ def test_monitor_window_expires_samples(env):
     assert monitor.active_objects() == ["obj-2"]
 
 
+def test_monitor_expiry_drops_only_stale_prefix(env):
+    monitor = UsageMonitor(env, window=5.0)
+    monitor.record("obj-1", "siteA")
+    env.run(until=3.0)
+    monitor.record("obj-2", "siteB")
+    env.run(until=7.0)   # obj-1's sample is now outside the window
+    assert monitor.active_objects() == ["obj-2"]
+    assert len(monitor._samples) == 1   # expired samples are popped
+
+
+def test_monitor_routes_samples_through_metrics_registry(env):
+    from repro import obs
+
+    registry = obs.MetricsRegistry()
+    monitor = UsageMonitor(env, window=5.0, metrics=registry)
+    monitor.record("obj-1", "siteA")
+    monitor.record("obj-1", "siteA")
+    monitor.record("obj-1", "siteB")
+    assert registry.counter("usage.access", oid="obj-1",
+                            node="siteA").value == 2
+    assert registry.counter("usage.access", oid="obj-1",
+                            node="siteB").value == 1
+    # The registry view is cumulative (no window), the monitor's is
+    # windowed: both must agree before anything expires.
+    assert monitor.total_accesses("obj-1") == 3
+
+
 # -- placement policies -----------------------------------------------------------
 
 def star_topology(env):

@@ -157,6 +157,40 @@ def test_no_host_drop(env):
     assert net.counters["dropped:no-host"] == 1
 
 
+def test_drop_stats_attributes_loss_and_partition(env):
+    # Bernoulli loss on an up link is attributed to "loss"...
+    net, a, b = make_pair(env, loss=0.999999)
+    a.send("b", size=10)
+    env.run()
+    assert net.drop_stats() == {"loss": 1}
+    # ...while a downed link (partition, routes not yet recomputed) is
+    # attributed to "link-down", not conflated with random loss.
+    net2, a2, b2 = make_pair(env)
+    a2.send("b", size=10)   # warm the route table while the link is up
+    env.run()
+    net2.topology.link_between("a", "b").set_up(False)
+    a2.send("b", size=10)
+    env.run()
+    assert net2.drop_stats() == {"link-down": 1}
+    assert net2.counters["dropped:link-down"] == 1
+    # Once routing notices the partition, the drop becomes "no-route".
+    net2.topology.invalidate_routes()
+    a2.send("b", size=10)
+    env.run()
+    assert net2.drop_stats() == {"link-down": 1, "no-route": 1}
+
+
+def test_drops_counted_in_metrics_registry(env):
+    from repro import obs
+
+    with obs.use_metrics(obs.MetricsRegistry()) as metrics:
+        net, a, b = make_pair(env, loss=0.999999)
+        a.send("b", size=10)
+        env.run()
+    assert metrics.counter("net.drops", reason="loss").value == 1
+    assert metrics.counters("net.drops") == {"net.drops{reason=loss}": 1}
+
+
 def test_counters_and_latency_tally(env):
     net, a, b = make_pair(env)
 

@@ -1,0 +1,91 @@
+"""JSONL export, loading and the report CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.net import Network, lan
+from repro.node import ODPRuntime
+from repro.obs.report import main, render_report
+from repro.sim import Environment
+
+
+@pytest.fixture
+def traced_run(tmp_path):
+    """A small traced two-node run, dumped to JSONL."""
+    with obs.use_tracer(obs.Tracer()) as tracer, \
+            obs.use_metrics(obs.MetricsRegistry()) as metrics:
+        env = Environment()
+        net = Network(env, lan(env, hosts=2))
+        runtime = ODPRuntime(net, registry_node="host0")
+        server = runtime.nucleus("host0")
+        client = runtime.nucleus("host1")
+        capsule = server.create_capsule()
+        obj = server.create_object(capsule, "counter", state={"n": 0})
+        obj.operation(
+            "incr", lambda caller, state, args: state.__setitem__(
+                "n", state["n"] + args) or state["n"])
+
+        def root(env):
+            for _ in range(3):
+                yield client.invoke(obj.oid, "incr", 1)
+
+        proc = env.process(root(env))
+        env.run(proc)
+        path = str(tmp_path / "run.jsonl")
+        lines = obs.dump_jsonl(path, tracer=tracer, metrics=metrics)
+    return path, lines
+
+
+def test_dump_is_nonempty_parseable_jsonl(traced_run):
+    path, lines = traced_run
+    assert lines > 0
+    with open(path) as handle:
+        raw = [line for line in handle if line.strip()]
+    assert len(raw) == lines
+    records = [json.loads(line) for line in raw]
+    kinds = {record["kind"] for record in records}
+    assert kinds == {"span", "metric"}
+
+
+def test_load_round_trips(traced_run):
+    path, lines = traced_run
+    records = obs.load_jsonl(path)
+    assert len(records) == lines
+    spans = [r for r in records if r["kind"] == "span"]
+    assert any(s["name"] == "node.invoke" for s in spans)
+    assert any(s["name"] == "rpc.serve" for s in spans)
+    metrics = [r for r in records if r["kind"] == "metric"]
+    latency = [m for m in metrics if m["name"] == "rpc.latency"]
+    assert latency and latency[0]["summary"]["count"] == 3.0
+
+
+def test_render_report_tables(traced_run):
+    path, _ = traced_run
+    out = io.StringIO()
+    render_report(obs.load_jsonl(path), out=out)
+    text = out.getvalue()
+    assert "spans by operation" in text
+    assert "invocation latency by node" in text
+    assert "invocation latency by object" in text
+    assert "traffic by source node" in text
+    assert "node.invoke" in text
+    assert "host1" in text
+
+
+def test_report_cli_main(traced_run, capsys):
+    path, _ = traced_run
+    assert main([path]) == 0
+    captured = capsys.readouterr()
+    assert "spans by operation" in captured.out
+
+
+def test_default_noop_dump_has_no_spans(tmp_path):
+    path = str(tmp_path / "empty.jsonl")
+    with obs.use_metrics(obs.MetricsRegistry()):
+        lines = obs.dump_jsonl(path)
+    records = obs.load_jsonl(path)
+    assert lines == len(records)
+    assert all(record["kind"] == "metric" for record in records)

@@ -1,0 +1,90 @@
+"""The metrics registry: instruments, labels, snapshot."""
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+def test_counter_basic(registry):
+    registry.counter("net.drops", reason="loss").add()
+    registry.counter("net.drops", reason="loss").add(2)
+    registry.counter("net.drops", reason="no-route").add()
+    assert registry.counter("net.drops", reason="loss").value == 3
+    assert registry.counters("net.drops") == {
+        "net.drops{reason=loss}": 3,
+        "net.drops{reason=no-route}": 1,
+    }
+
+
+def test_instruments_cached_by_name_and_labels(registry):
+    a = registry.counter("x", node="n1")
+    b = registry.counter("x", node="n1")
+    c = registry.counter("x", node="n2")
+    assert a is b
+    assert a is not c
+    # Label order is irrelevant.
+    h1 = registry.histogram("y", node="n1", op="read")
+    h2 = registry.histogram("y", op="read", node="n1")
+    assert h1 is h2
+
+
+def test_histogram_summary(registry):
+    hist = registry.histogram("rpc.latency", node="n1")
+    for value in (0.1, 0.2, 0.3):
+        hist.record(value)
+    assert hist.count == 3
+    assert abs(hist.mean - 0.2) < 1e-12
+    summary = hist.summary()
+    assert summary["count"] == 3.0
+    assert summary["max"] == 0.3
+
+
+def test_gauge_tracks_last_value(registry):
+    gauge = registry.gauge("queue.depth", node="n1")
+    gauge.set(3, at=1.0)
+    gauge.set(5, at=2.0)
+    assert gauge.last == 5
+
+
+def test_snapshot_shape(registry):
+    registry.counter("a").add()
+    registry.histogram("b", k="v").record(1.0)
+    registry.gauge("c").set(2.0, at=0.0)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"] == {"a": 1}
+    assert snapshot["histograms"]["b{k=v}"]["count"] == 1.0
+    assert snapshot["gauges"]["c"] == 2.0
+
+
+def test_records_are_flat_and_typed(registry):
+    registry.counter("a", x="1").add(4)
+    registry.histogram("b").record(2.0)
+    records = list(registry.records())
+    kinds = {(r["type"], r["name"]) for r in records}
+    assert kinds == {("counter", "a"), ("histogram", "b")}
+    counter = next(r for r in records if r["type"] == "counter")
+    assert counter == {"kind": "metric", "type": "counter", "name": "a",
+                       "labels": {"x": "1"}, "value": 4}
+
+
+def test_reset(registry):
+    registry.counter("a").add()
+    registry.reset()
+    assert registry.snapshot() == {
+        "counters": {}, "histograms": {}, "gauges": {}}
+
+
+def test_use_metrics_scopes_the_default():
+    outer = obs.get_metrics()
+    scoped = MetricsRegistry()
+    with obs.use_metrics(scoped):
+        assert obs.get_metrics() is scoped
+        obs.get_metrics().counter("in.scope").add()
+    assert obs.get_metrics() is outer
+    assert scoped.counter("in.scope").value == 1

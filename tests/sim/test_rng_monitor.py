@@ -202,3 +202,28 @@ def test_histogram_degenerate_range():
 def test_histogram_invalid_bins():
     with pytest.raises(ValueError):
         histogram([1.0], bins=0)
+
+
+def test_histogram_reports_underflow_and_overflow():
+    # low/high narrower than the data: out-of-range values must not be
+    # silently clamped into the edge bins.
+    bins = histogram([-5.0, 0.5, 1.5, 3.0, 9.0, 12.0], bins=2,
+                     low=0.0, high=2.0)
+    assert bins[0] == (float("-inf"), 0.0, 1)
+    assert bins[-1] == (2.0, float("inf"), 3)
+    regular = bins[1:-1]
+    assert [count for _, _, count in regular] == [1, 1]
+    assert sum(count for _, _, count in bins) == 6
+
+
+def test_histogram_no_overflow_bins_when_range_covers_data():
+    bins = histogram([0.0, 1.0, 2.0], bins=2, low=0.0, high=2.0)
+    assert len(bins) == 2
+    # A value equal to ``high`` still lands in the last regular bin.
+    assert bins[-1][2] == 2
+
+
+def test_histogram_degenerate_range_with_out_of_range_values():
+    bins = histogram([1.0, 2.0, 2.0, 3.0], bins=4, low=2.0, high=2.0)
+    assert bins == [(float("-inf"), 2.0, 1), (2.0, 2.0, 2),
+                    (2.0, float("inf"), 1)]
