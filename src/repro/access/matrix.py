@@ -26,7 +26,7 @@ GRANT = "grant"
 
 RIGHTS = (READ, WRITE, GRANT)
 
-_capability_ids = itertools.count(1000)
+_capability_ids = itertools.count(1000)  # repro: allow-RPR005 (ids are labels, not behaviour)
 
 
 class AccessMatrix:

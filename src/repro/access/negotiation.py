@@ -22,7 +22,7 @@ GRANTED = "granted"
 DENIED = "denied"
 EXPIRED = "expired"
 
-_request_ids = itertools.count(1)
+_request_ids = itertools.count(1)  # repro: allow-RPR005 (ids are labels, not behaviour)
 
 
 class NegotiationRequest:

@@ -1,0 +1,91 @@
+"""Races report: conflicts each lock style leaves to the social protocol.
+
+Runs the E3 contended-editing workload under every lock style with the
+happens-before sanitizer enabled and tabulates what each style left
+unordered.  This is the paper's Figure 2 argument in numbers: hard
+locks order everything (walling users off), soft locks order nothing
+while surfacing every conflict, tickle and notification locks sit in
+between::
+
+    PYTHONPATH=src python -m repro.analysis.races
+    PYTHONPATH=src python -m repro.analysis.races --seed 7 --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, Sequence
+
+from repro.analysis.hb import ConflictSanitizer, use_sanitizer
+from repro.analysis.workloads import run_workload
+from repro.concurrency.locks import STYLES
+from repro.obs.metrics import MetricsRegistry, use_metrics
+
+
+def conflict_sweep(seed: int = 31,
+                   styles: Sequence[str] = STYLES
+                   ) -> Dict[str, Dict[str, Any]]:
+    """Run the lock-style workload per style with a fresh sanitizer."""
+    results: Dict[str, Dict[str, Any]] = {}
+    for style in styles:
+        with use_metrics(MetricsRegistry()):
+            with use_sanitizer(ConflictSanitizer()) as sanitizer:
+                result = run_workload("locks-" + style, seed=seed)
+        result["summary"] = sanitizer.summary()
+        results[style] = result
+    return results
+
+
+def render(results: Dict[str, Dict[str, Any]], out=None) -> None:
+    out = out if out is not None else sys.stdout
+    headers = ["style", "accesses", "write-write", "read-write",
+               "unresolved", "lock conflicts", "takeovers", "mean wait"]
+    rows = []
+    for style, result in results.items():
+        conflicts = result["conflicts"]
+        counters = result["lock_counters"]
+        rows.append([style, len(result["accesses"]),
+                     conflicts["write-write"], conflicts["read-write"],
+                     conflicts["total"], counters.get("conflicts", 0),
+                     counters.get("takeovers", 0),
+                     "{:.3g}".format(result["wait"]["mean"])])
+    widths = [len(h) for h in headers]
+    for row in rows:
+        widths = [max(w, len(str(cell))) for w, cell in zip(widths, row)]
+    line = "  ".join("{:<{w}}".format(h, w=w)
+                     for h, w in zip(headers, widths))
+    out.write("conflicts left to the social protocol, by lock style\n")
+    out.write("-" * len(line) + "\n")
+    out.write(line + "\n")
+    for row in rows:
+        out.write("  ".join("{:<{w}}".format(str(cell), w=w)
+                            for cell, w in zip(row, widths)) + "\n")
+    out.write("\nunresolved = concurrent conflicting accesses no lock "
+              "grant,\nfloor possession or causal delivery ordered "
+              "(happens-before).\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.races",
+        description="Report unresolved concurrent conflicts per lock "
+                    "style (E3 workload, sanitizer enabled).")
+    parser.add_argument("--seed", type=int, default=31,
+                        help="experiment seed (default 31)")
+    parser.add_argument("--styles", nargs="+", default=list(STYLES),
+                        choices=list(STYLES), help="styles to sweep")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full per-style results as JSON")
+    options = parser.parse_args(argv)
+    results = conflict_sweep(seed=options.seed, styles=options.styles)
+    if options.json:
+        print(json.dumps(results, indent=2, sort_keys=True))
+    else:
+        render(results)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.concurrency.store import SharedStore
 from repro.sim import Counter, Environment
 
-_event_ids = itertools.count(1)
+_event_ids = itertools.count(1)  # repro: allow-RPR005 (ids are labels, not behaviour)
 
 #: Standard action vocabulary (free-form strings are also accepted).
 ACTION_EDIT = "edit"

@@ -23,6 +23,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Dict, List, Optional, Set
 
+from repro.analysis.hb import get_sanitizer
 from repro.errors import LockError
 from repro.obs.metrics import get_metrics
 from repro.sim import Counter, Environment, Event
@@ -37,15 +38,16 @@ NOTIFICATION = "notification"
 
 STYLES = (HARD, TICKLE, SOFT, NOTIFICATION)
 
-_grant_ids = itertools.count(1)
-
 
 class LockGrant:
     """A live hold on an item; returned by every successful acquire."""
 
     def __init__(self, table: "LockTable", key: str, owner: str,
                  mode: str, granted_at: float) -> None:
-        self.grant_id = next(_grant_ids)
+        # Grant ids come from the owning table, so they are reproducible
+        # per experiment (a module-level counter would leak state across
+        # experiments sharing one process).
+        self.grant_id = next(table._grant_seq)
         self.table = table
         self.key = key
         self.owner = owner
@@ -96,6 +98,7 @@ class LockTable:
         self.env = env
         self.style = style
         self.tickle_grace = tickle_grace
+        self._grant_seq = itertools.count(1)
         self._held: Dict[str, List[LockGrant]] = {}
         self._queues: Dict[str, List[_Waiter]] = {}
         self._watchers: Dict[str, List[Callable[[str, str, str], None]]] = {}
@@ -144,6 +147,9 @@ class LockTable:
         if grant not in held:
             raise LockError("grant is not held: {!r}".format(grant))
         held.remove(grant)
+        # Hand-off edge: whoever acquires this key next is causally
+        # ordered after everything the releasing holder did.
+        get_sanitizer().release("lock:" + grant.key, grant.owner)
         self._refresh_conflicts(grant.key)
         self._promote(grant.key)
 
@@ -242,6 +248,7 @@ class LockTable:
         return all(h.owner == owner for h in holders)
 
     def _install(self, key: str, owner: str, mode: str) -> LockGrant:
+        get_sanitizer().acquire("lock:" + key, owner)
         grant = LockGrant(self, key, owner, mode, self.env.now)
         self._held.setdefault(key, []).append(grant)
         return grant
@@ -280,6 +287,9 @@ class LockTable:
             for holder in list(holders):
                 holder.revoked = True
                 holders.remove(holder)
+                # A takeover is a forced hand-off: the taker is ordered
+                # after the revoked holder's work so far.
+                get_sanitizer().release("lock:" + key, holder.owner)
                 if self.on_takeover is not None:
                     self.on_takeover(holder, owner)
             grant = self._install(key, owner, mode)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.analysis.hb import get_sanitizer
 from repro.errors import ConcurrencyError
 
 
@@ -76,14 +77,18 @@ class SharedStore:
     def keys(self) -> List[str]:
         return list(self._items)
 
-    def read(self, key: str, reader: str = "") -> Any:
+    def read(self, key: str, reader: str = "", at: float = 0.0) -> Any:
         """Read an item's current value."""
         self.reads += 1
+        get_sanitizer().on_read(
+            "{}/{}".format(self.name, key), reader, at)
         return self.item(key).value
 
     def write(self, key: str, value: Any, writer: str = "",
               at: float = 0.0) -> int:
         """Write an item; returns the new version and notifies subscribers."""
+        get_sanitizer().on_write(
+            "{}/{}".format(self.name, key), writer, at)
         item = self.ensure(key)
         item.value = value
         item.version += 1

@@ -31,7 +31,7 @@ ACTIVE = "active"
 COMMITTED = "committed"
 ABORTED = "aborted"
 
-_txn_ids = itertools.count(1)
+_txn_ids = itertools.count(1)  # repro: allow-RPR005 (ids are labels, not behaviour)
 
 
 class Transaction:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, Optional
 
-_message_ids = itertools.count(1)
+_message_ids = itertools.count(1)  # repro: allow-RPR005 (ids are labels, not behaviour)
 
 
 class GroupMessage:

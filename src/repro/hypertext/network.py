@@ -19,8 +19,8 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import HypertextError
 
-_node_ids = itertools.count(1)
-_link_ids = itertools.count(1)
+_node_ids = itertools.count(1)  # repro: allow-RPR005 (ids are labels, not behaviour)
+_link_ids = itertools.count(1)  # repro: allow-RPR005 (ids are labels, not behaviour)
 
 #: Link types in the spirit of Intermedia/SEPIA (incl. argumentation).
 LINK_TYPES = ("reference", "comment", "supports", "refutes",

@@ -59,7 +59,7 @@ class RandomPlacement(PlacementPolicy):
     name = "random"
 
     def __init__(self, rng: Optional[random.Random] = None) -> None:
-        self._rng = rng or random.Random(0)
+        self._rng = rng or random.Random(0)  # repro: allow-RPR002 (constant-seeded fallback)
 
     def place(self, candidates, user_nodes, topology, weights=None):
         self._check(candidates)

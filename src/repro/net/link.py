@@ -52,7 +52,7 @@ class Link:
         #: Routing cost multiplier (communications management raises it
         #: on congested links so routes steer around them).
         self.weight_multiplier = 1.0
-        self._rng = rng or random.Random(0)
+        self._rng = rng or random.Random(0)  # repro: allow-RPR002 (constant-seeded fallback)
         # Priority channels let QoS-reserved flows pre-empt queued
         # best-effort packets (the engineering enforcement behind §4.2.2).
         self._channels: Dict[str, PriorityResource] = {

@@ -8,7 +8,7 @@ from typing import Any, Dict, Optional
 #: Default header overhead added to every packet, in bytes.
 HEADER_BYTES = 40
 
-_packet_ids = itertools.count(1)
+_packet_ids = itertools.count(1)  # repro: allow-RPR005 (ids are labels, not behaviour)
 
 
 class Packet:

@@ -11,6 +11,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.analysis.hb import extract_clock, inject_clock
 from repro.errors import TransportError
 from repro.net.network import Host
 from repro.net.packet import Packet
@@ -167,10 +168,15 @@ class RpcEndpoint:
         span = get_tracer().start_span(
             "rpc.call", at=self.env.now, parent=parent,
             node=self.host.name, dst=dst, method=method)
+        # The happens-before sanitizer rides the same headers as the
+        # trace context: the serving host becomes causally ordered
+        # after the caller's history (and vice versa on the response).
         self.host.send(dst, payload={"method": method, "args": args},
                        size=self.request_size, port=self.port,
-                       headers=inject(span, {"type": "request",
-                                             "call": call_id}))
+                       headers=inject_clock(
+                           inject(span, {"type": "request",
+                                         "call": call_id}),
+                           self.host.name))
         result = yield self.env.any_of(
             [reply, self.env.timeout(timeout)])
         self._calls.pop(call_id, None)
@@ -196,11 +202,13 @@ class RpcEndpoint:
         elif kind == "response":
             reply = self._calls.get(packet.headers["call"])
             if reply is not None and not reply.triggered:
+                extract_clock(packet.headers, self.host.name)
                 reply.succeed(packet.payload)
 
     def _serve(self, packet: Packet):
         method = packet.payload["method"]
         args = packet.payload["args"]
+        extract_clock(packet.headers, self.host.name)
         # The serving span parents under the caller's rpc.call context
         # carried by the request packet; its duration is the remote
         # execution time.
@@ -225,6 +233,8 @@ class RpcEndpoint:
         span.finish(at=self.env.now)
         self.host.send(packet.src, payload=outcome,
                        size=self.response_size, port=self.port,
-                       headers=inject(span, {
-                           "type": "response",
-                           "call": packet.headers["call"]}))
+                       headers=inject_clock(
+                           inject(span, {
+                               "type": "response",
+                               "call": packet.headers["call"]}),
+                           self.host.name))

@@ -14,9 +14,9 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import NodeError
 
-_object_ids = itertools.count(1)
-_cluster_ids = itertools.count(1)
-_capsule_ids = itertools.count(1)
+_object_ids = itertools.count(1)  # repro: allow-RPR005 (ids are labels, not behaviour)
+_cluster_ids = itertools.count(1)  # repro: allow-RPR005 (ids are labels, not behaviour)
+_capsule_ids = itertools.count(1)  # repro: allow-RPR005 (ids are labels, not behaviour)
 
 
 class EngineeringObject:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import QoSError
+from repro.obs.metrics import get_metrics
 from repro.qos.params import QoSContract, QoSParameters
 from repro.sim import Counter, Environment
 
@@ -89,6 +90,7 @@ class QoSMonitor:
             yield self.env.timeout(self.window)
             observation = self._summarise(window_start, self.env.now)
             self.observations.append(observation)
+            self._record_observation(observation)
             if not observation.meets(self.contract.agreed):
                 self.counters.incr("violations")
                 self.contract.mark_violated()
@@ -96,6 +98,30 @@ class QoSMonitor:
                     self.on_violation(observation)
             else:
                 self.counters.incr("windows_ok")
+
+    def _record_observation(self, observation: QoSObservation) -> None:
+        """Publish the window into the metrics registry.
+
+        Violations and healthy windows land as counters next to the
+        lock/conflict counters, so ``repro.obs.report`` shows QoS
+        degradation alongside concurrency behaviour.  Latency/jitter
+        are only recorded for windows that saw frames (an empty window
+        reports infinite latency, which would poison the histogram).
+        """
+        metrics = get_metrics()
+        flow = "{}->{}".format(self.contract.src, self.contract.dst)
+        violated = not observation.meets(self.contract.agreed)
+        metrics.counter(
+            "qos.violations" if violated else "qos.windows_ok",
+            flow=flow).add()
+        if observation.frames:
+            metrics.histogram("qos.latency", flow=flow).record(
+                observation.mean_latency)
+            metrics.histogram("qos.jitter", flow=flow).record(
+                observation.jitter)
+            metrics.histogram("qos.throughput", flow=flow).record(
+                observation.throughput)
+        metrics.histogram("qos.loss", flow=flow).record(observation.loss)
 
     def _summarise(self, window_start: float,
                    window_end: float) -> QoSObservation:

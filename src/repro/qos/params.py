@@ -19,7 +19,7 @@ DEGRADED = "degraded"
 VIOLATED = "violated"
 CLOSED = "closed"
 
-_contract_ids = itertools.count(1)
+_contract_ids = itertools.count(1)  # repro: allow-RPR005 (ids are labels, not behaviour)
 
 
 class QoSParameters:

@@ -31,8 +31,8 @@ ASYNCHRONOUS = "asynchronous"
 CO_LOCATED = "co-located"
 REMOTE = "remote"
 
-_session_ids = itertools.count(1)
-_invite_ids = itertools.count(1)
+_session_ids = itertools.count(1)  # repro: allow-RPR005 (ids are labels, not behaviour)
+_invite_ids = itertools.count(1)  # repro: allow-RPR005 (ids are labels, not behaviour)
 
 
 class Session:

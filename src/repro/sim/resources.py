@@ -9,6 +9,7 @@ used e.g. for link bandwidth accounting).
 
 from __future__ import annotations
 
+import itertools
 from heapq import heappop, heappush
 from typing import Any, Callable, List, Optional
 
@@ -17,12 +18,20 @@ from repro.sim.events import Event
 from repro.sim.environment import Environment
 
 
+def _metrics():
+    # Imported lazily: repro.obs.metrics itself imports repro.sim, so a
+    # module-level import here would close a package-import cycle.
+    from repro.obs.metrics import get_metrics
+    return get_metrics()
+
+
 class Request(Event):
     """A pending claim on a :class:`Resource`; fires when granted."""
 
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
         self.resource = resource
+        self.requested_at = resource.env.now
         self.usage_since: Optional[float] = None
         resource._do_request(self)
 
@@ -38,13 +47,22 @@ class Request(Event):
 
 
 class Resource:
-    """A resource with finite capacity and a FIFO wait queue."""
+    """A resource with finite capacity and a FIFO wait queue.
 
-    def __init__(self, env: Environment, capacity: int = 1) -> None:
+    Give the resource a ``name`` to register observability hooks: a
+    ``resource.queue_depth`` gauge sampled on every queue change and a
+    ``resource.wait`` histogram of request-to-grant delays, both
+    labelled with the name.  Unnamed resources record nothing, so hot
+    anonymous queues stay cheap.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1,
+                 name: Optional[str] = None) -> None:
         if capacity <= 0:
             raise SimulationError("capacity must be positive")
         self.env = env
         self.capacity = capacity
+        self.name = name
         self.users: List[Request] = []
         self.queue: List[Request] = []
 
@@ -63,6 +81,7 @@ class Resource:
             self.users.remove(request)
         elif request in self.queue:
             self.queue.remove(request)
+            self._sample_queue()
         self._grant_waiters()
 
     def _do_request(self, request: Request) -> None:
@@ -70,31 +89,47 @@ class Resource:
             self._grant(request)
         else:
             self.queue.append(request)
+            self._sample_queue()
 
     def _grant(self, request: Request) -> None:
         self.users.append(request)
         request.usage_since = self.env.now
+        if self.name is not None:
+            _metrics().histogram("resource.wait", resource=self.name) \
+                .record(self.env.now - request.requested_at)
         request.succeed(request)
 
     def _grant_waiters(self) -> None:
+        granted = False
         while self.queue and len(self.users) < self.capacity:
-            self._grant(self.queue.pop(0))
+            self._grant(self._pop_next())
+            granted = True
+        if granted:
+            self._sample_queue()
 
+    def _pop_next(self) -> Request:
+        return self.queue.pop(0)
 
-_priority_seq = iter(range(1, 1 << 62))
+    def _sample_queue(self) -> None:
+        if self.name is not None:
+            _metrics().gauge("resource.queue_depth",
+                             resource=self.name) \
+                .set(len(self.queue), at=self.env.now)
 
 
 class PriorityRequest(Request):
     """A claim with a priority (lower value = more important).
 
     Ties break by request creation order, so equal-priority claims are
-    strictly FIFO (deterministic simulation).
+    strictly FIFO (deterministic simulation).  The tie-break sequence
+    lives on the resource, not the module, so experiments sharing one
+    process cannot perturb each other.
     """
 
     def __init__(self, resource: "PriorityResource", priority: int) -> None:
         self.priority = priority
         self.time = resource.env.now
-        self.seq = next(_priority_seq)
+        self.seq = next(resource._ticket)
         super().__init__(resource)
 
     def __lt__(self, other: "PriorityRequest") -> bool:
@@ -105,6 +140,11 @@ class PriorityRequest(Request):
 class PriorityResource(Resource):
     """A resource whose wait queue is ordered by request priority."""
 
+    def __init__(self, env: Environment, capacity: int = 1,
+                 name: Optional[str] = None) -> None:
+        super().__init__(env, capacity, name)
+        self._ticket = itertools.count(1)
+
     def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
         return PriorityRequest(self, priority)
 
@@ -113,10 +153,10 @@ class PriorityResource(Resource):
             self._grant(request)
         else:
             heappush(self.queue, request)  # type: ignore[arg-type]
+            self._sample_queue()
 
-    def _grant_waiters(self) -> None:
-        while self.queue and len(self.users) < self.capacity:
-            self._grant(heappop(self.queue))  # type: ignore[arg-type]
+    def _pop_next(self) -> Request:
+        return heappop(self.queue)  # type: ignore[arg-type]
 
 
 class StoreGet(Event):
@@ -127,6 +167,7 @@ class StoreGet(Event):
         super().__init__(store.env)
         self.filter = filter
         self.store = store
+        self.requested_at = store.env.now
         store._getters.append(self)
         store._dispatch()
 
@@ -155,11 +196,13 @@ class Store:
     """
 
     def __init__(self, env: Environment,
-                 capacity: float = float("inf")) -> None:
+                 capacity: float = float("inf"),
+                 name: Optional[str] = None) -> None:
         if capacity <= 0:
             raise SimulationError("capacity must be positive")
         self.env = env
         self.capacity = capacity
+        self.name = name
         self.items: List[Any] = []
         self._getters: List[StoreGet] = []
         self._putters: List[StorePut] = []
@@ -192,8 +235,14 @@ class Store:
                     continue
                 self.items.remove(item)
                 self._getters.remove(getter)
+                if self.name is not None:
+                    _metrics().histogram("store.wait", store=self.name) \
+                        .record(self.env.now - getter.requested_at)
                 getter.succeed(item)
                 progressed = True
+        if self.name is not None:
+            _metrics().gauge("store.depth", store=self.name) \
+                .set(len(self.items), at=self.env.now)
 
     def _find(self, getter: StoreGet) -> Any:
         if getter.filter is None:

@@ -42,7 +42,7 @@ GLANCE = "glance"
 VIDEO_WALL = "video-wall"
 OFFICE_SHARE = "office-share"
 
-_connection_ids = itertools.count(1)
+_connection_ids = itertools.count(1)  # repro: allow-RPR005 (ids are labels, not behaviour)
 
 
 class WorkplaceNode:

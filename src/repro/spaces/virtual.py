@@ -131,10 +131,14 @@ class VirtualEnvironment:
                 if self.space.awareness_level(a, b) == FULL \
                         and self.space.awareness_level(b, a) == FULL:
                     should_exist.add(frozenset((a.name, b.name)))
-        for pair in should_exist - set(self.audio_links):
+        # Sorted so link open/close order (and thus counters and
+        # history) is independent of PYTHONHASHSEED.
+        for pair in sorted(should_exist - set(self.audio_links),
+                           key=sorted):
             self.audio_links[pair] = self.env.now
             self.counters.incr("links_opened")
-        for pair in set(self.audio_links) - should_exist:
+        for pair in sorted(set(self.audio_links) - should_exist,
+                           key=sorted):
             opened_at = self.audio_links.pop(pair)
             self.link_history.append((opened_at, self.env.now, pair))
             self.counters.incr("links_closed")

@@ -26,7 +26,7 @@ from typing import Callable, List, Optional, Tuple
 from repro.errors import StreamError
 from repro.sim import Counter, Environment, Tally
 
-_frame_seq = itertools.count(1)
+_frame_seq = itertools.count(1)  # repro: allow-RPR005 (ids are labels, not behaviour)
 
 DEADLINE = "deadline"
 ARRIVAL = "arrival"

@@ -19,7 +19,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
 
-_object_ids = itertools.count(1)
+_object_ids = itertools.count(1)  # repro: allow-RPR005 (ids are labels, not behaviour)
 
 ON_ARRIVAL = "arrival"
 ON_CHANGE = "change"

@@ -32,7 +32,7 @@ CANCELLED = "cancelled"
 
 PHASES = (PREPARATION, NEGOTIATION, PERFORMANCE, ACCEPTANCE)
 
-_loop_ids = itertools.count(1)
+_loop_ids = itertools.count(1)  # repro: allow-RPR005 (ids are labels, not behaviour)
 
 
 class WorkflowLoop:

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import WorkflowError
 
-_instance_ids = itertools.count(1)
+_instance_ids = itertools.count(1)  # repro: allow-RPR005 (ids are labels, not behaviour)
 
 STRICT = "strict"
 TOLERANT = "tolerant"

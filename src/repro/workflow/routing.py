@@ -14,7 +14,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import WorkflowError
 
-_object_ids = itertools.count(1)
+_object_ids = itertools.count(1)  # repro: allow-RPR005 (ids are labels, not behaviour)
 
 
 class WorkObject:

@@ -54,7 +54,7 @@ TRANSITIONS: Dict[Tuple[str, str, str], str] = {
     (REPORTED, CUSTOMER, "declare_incomplete"): PROMISED,
 }
 
-_conversation_ids = itertools.count(1)
+_conversation_ids = itertools.count(1)  # repro: allow-RPR005 (ids are labels, not behaviour)
 
 
 class Conversation:

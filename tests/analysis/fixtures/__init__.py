@@ -1,0 +1,5 @@
+# Lint fixtures: each module exercises one rule with positive lines
+# (marked "# expect: CODE"), negative lines (no marker) and suppressed
+# lines (marked "# suppressed: CODE" next to a "# repro: allow-..."
+# comment).  test_lint.py parses the markers and asserts the linter
+# reports exactly the marked findings.  Never import these modules.

@@ -1,0 +1,25 @@
+"""RPR001 fixture: wall-clock reads in simulator code."""
+
+import datetime
+import time
+
+
+def stamp():
+    started = time.time()  # expect: RPR001
+    time.sleep(0.1)  # expect: RPR001
+    precise = time.perf_counter()  # expect: RPR001
+    when = datetime.datetime.now()  # expect: RPR001
+    day = datetime.date.today()  # expect: RPR001
+    return started, precise, when, day
+
+
+def simulated(env):
+    return env.now  # negative: the simulation clock is the only clock
+
+
+def formatted(when):
+    return when.strftime("%H:%M")  # negative: formatting, not reading
+
+
+def allowed():
+    return time.monotonic()  # repro: allow-RPR001  # suppressed: RPR001

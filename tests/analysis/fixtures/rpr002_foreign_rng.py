@@ -1,0 +1,24 @@
+"""RPR002 fixture: RNG constructed or used outside sim.rng."""
+
+import random
+from random import choice
+
+
+def roll():
+    return random.random()  # expect: RPR002
+
+
+def fresh_rng():
+    return random.Random(7)  # expect: RPR002
+
+
+def pick(options):
+    return choice(options)  # expect: RPR002
+
+
+def blessed(streams):
+    return streams.stream("jitter").random()  # negative: named stream
+
+
+def fallback():
+    return random.Random(0)  # repro: allow-RPR002  # suppressed: RPR002

@@ -1,0 +1,20 @@
+"""RPR003 fixture: iteration over an unordered set."""
+
+
+def visit(members, extras):
+    for member in {"ann", "bob"}:  # expect: RPR003
+        print(member)
+    names = [m for m in set(members)]  # expect: RPR003
+    merged = list(set(members) | extras)  # expect: RPR003
+    return names, merged
+
+
+def ordered(members):
+    for member in sorted(set(members)):  # negative: sorted first
+        print(member)
+    return [m for m in members]  # negative: a list, not a set
+
+
+def tolerated():
+    for member in {1, 2}:  # repro: allow-RPR003  # suppressed: RPR003
+        print(member)

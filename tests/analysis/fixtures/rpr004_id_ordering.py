@@ -1,0 +1,25 @@
+"""RPR004 fixture: id()-based ordering, comparison or hashing."""
+
+
+def order(objects):
+    return sorted(objects, key=id)  # expect: RPR004
+
+
+def order_in_place(objects):
+    objects.sort(key=lambda o: (id(o), 0))  # expect: RPR004
+
+
+def bucket(obj):
+    return hash(id(obj))  # expect: RPR004
+
+
+def same(a, b):
+    return id(a) == id(b)  # expect: RPR004
+
+
+def stable(objects):
+    return sorted(objects, key=lambda o: o.name)  # negative: stable key
+
+
+def tolerated(a, b):
+    return id(a) < id(b)  # repro: allow-RPR004  # suppressed: RPR004

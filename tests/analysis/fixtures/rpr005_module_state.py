@@ -1,0 +1,17 @@
+"""RPR005 fixture: module-level mutable state."""
+
+import itertools
+
+_ids = itertools.count(1)  # expect: RPR005
+cache = {}  # expect: RPR005
+pending = []  # expect: RPR005
+registry = dict()  # expect: RPR005
+
+LEVELS = {"low": 0, "high": 1}  # negative: UPPER_CASE constant
+
+_quiet_ids = itertools.count(1)  # repro: allow-RPR005  # suppressed: RPR005
+
+
+def uses():
+    local_cache = {}  # negative: function-local state is fine
+    return local_cache, next(_ids), cache, pending, registry, _quiet_ids

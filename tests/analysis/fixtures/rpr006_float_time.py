@@ -1,0 +1,17 @@
+"""RPR006 fixture: float equality on simulated time."""
+
+
+def fire_exact(env, deadline):
+    return env.now == deadline  # expect: RPR006
+
+
+def fire_changed(env, deadline):
+    return env.now != deadline  # expect: RPR006
+
+
+def fire_bound(env, deadline):
+    return env.now >= deadline  # negative: bound comparison is safe
+
+
+def quantised(env, step):
+    return env.now == step  # repro: allow-RPR006  # suppressed: RPR006

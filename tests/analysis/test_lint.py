@@ -1,0 +1,139 @@
+"""Tests for the determinism lint: rules, suppression, CLI, repo-clean.
+
+The fixture modules under ``fixtures/`` carry their own expectations:
+every line that must be flagged ends with ``# expect: CODE`` and every
+line whose finding must be silenced by a ``# repro: allow-...`` comment
+ends with ``# suppressed: CODE``.  The tests parse those markers and
+assert the linter reports exactly the marked findings — nothing more,
+nothing less.
+"""
+
+import json
+import os
+import re
+
+import pytest
+
+from repro.analysis.lint import (
+    RULES,
+    lint_file,
+    lint_paths,
+    lint_source,
+    main,
+)
+
+HERE = os.path.dirname(__file__)
+FIXTURES = os.path.join(HERE, "fixtures")
+REPO_SRC = os.path.normpath(
+    os.path.join(HERE, os.pardir, os.pardir, "src", "repro"))
+
+FIXTURE_FILES = sorted(
+    name for name in os.listdir(FIXTURES)
+    if name.endswith(".py") and name != "__init__.py")
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*(RPR\d+(?:\s*,\s*RPR\d+)*)")
+_SUPPRESSED_RE = re.compile(r"#\s*suppressed:\s*(RPR\d+(?:\s*,\s*RPR\d+)*)")
+
+
+def _markers(path, regex):
+    """(line, code) pairs for every marker comment matching ``regex``."""
+    marked = set()
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            match = regex.search(line)
+            if match:
+                for code in match.group(1).split(","):
+                    marked.add((lineno, code.strip()))
+    return marked
+
+
+# -- rule registry ----------------------------------------------------------
+
+def test_rule_codes_are_unique_and_well_formed():
+    codes = [lint_rule.code for lint_rule in RULES]
+    assert len(codes) == len(set(codes))
+    assert all(re.fullmatch(r"RPR\d{3}", code) for code in codes)
+    assert {"RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
+            "RPR006"} <= set(codes)
+
+
+def test_every_rule_has_a_fix_hint():
+    for lint_rule in RULES:
+        assert lint_rule.hint, lint_rule.code
+        assert lint_rule.summary, lint_rule.code
+
+
+# -- fixtures: each rule fires exactly where marked ------------------------
+
+@pytest.mark.parametrize("filename", FIXTURE_FILES)
+def test_fixture_findings_match_markers(filename):
+    path = os.path.join(FIXTURES, filename)
+    expected = _markers(path, _EXPECT_RE)
+    assert expected, "fixture {} marks no expectations".format(filename)
+    found = {(f.line, f.code) for f in lint_file(path)}
+    assert found == expected
+
+
+@pytest.mark.parametrize("filename", FIXTURE_FILES)
+def test_fixture_suppressions_respected_and_overridable(filename):
+    path = os.path.join(FIXTURES, filename)
+    expected = _markers(path, _EXPECT_RE)
+    suppressed = _markers(path, _SUPPRESSED_RE)
+    assert suppressed, "fixture {} marks no suppressions".format(filename)
+    # Suppressed lines stay silent normally...
+    found = {(f.line, f.code) for f in lint_file(path)}
+    assert not (found & suppressed)
+    # ...and reappear under --no-suppress semantics.
+    unsuppressed = {(f.line, f.code)
+                    for f in lint_file(path, respect_suppressions=False)}
+    assert unsuppressed == expected | suppressed
+
+
+def test_suppression_comment_covers_the_line_below():
+    source = ("import itertools\n"
+              "# repro: allow-RPR005 (fixture)\n"
+              "_ids = itertools.count(1)\n")
+    assert lint_source(source, "fixture.py") == []
+
+
+def test_syntax_error_reports_rpr000():
+    findings = lint_source("def broken(:\n", "broken.py")
+    assert [f.code for f in findings] == ["RPR000"]
+
+
+# -- the repo itself -------------------------------------------------------
+
+def test_repo_source_is_lint_clean():
+    findings = lint_paths([REPO_SRC])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+# -- CLI -------------------------------------------------------------------
+
+def test_cli_nonzero_with_codes_on_fixtures(capsys):
+    assert main([FIXTURES]) == 1
+    out = capsys.readouterr().out
+    for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
+                 "RPR006"):
+        assert code in out
+
+
+def test_cli_zero_on_clean_tree(capsys):
+    assert main([REPO_SRC]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_cli_json_format(capsys):
+    path = os.path.join(FIXTURES, "rpr005_module_state.py")
+    assert main([path, "--format", "json"]) == 1
+    findings = json.loads(capsys.readouterr().out)
+    assert findings
+    assert {"path", "line", "col", "code", "message",
+            "hint"} <= set(findings[0])
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for lint_rule in RULES:
+        assert lint_rule.code in out
