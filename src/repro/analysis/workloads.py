@@ -83,9 +83,11 @@ def lock_style_workload(style: str, seed: int = 31) -> Dict[str, Any]:
                 grant.release()
 
     for i in range(WRITERS):
-        env.process(writer(env, "writer-{}".format(i)))
+        name = "writer-{}".format(i)
+        env.process(writer(env, name), name=name)
     for i in range(READERS):
-        env.process(reader(env, "reader-{}".format(i)))
+        name = "reader-{}".format(i)
+        env.process(reader(env, name), name=name)
     env.run()
 
     sanitizer = get_sanitizer()
@@ -112,9 +114,18 @@ def _register_lock_styles() -> Dict[str, Callable[..., Dict[str, Any]]]:
     return registry
 
 
-#: Registry of named workloads for the races / replay CLIs.
+def _register_obs_demos() -> Dict[str, Callable[..., Dict[str, Any]]]:
+    # Imported here so the telemetry demos (which pull in the whole
+    # net/node stack) only load when the registry is actually used.
+    from repro.obs.demo import slo_burn_workload, traced_rpc_workload
+    return {"traced-rpc": traced_rpc_workload,
+            "slo-burn": slo_burn_workload}
+
+
+#: Registry of named workloads for the races / replay / profile CLIs.
 WORKLOADS: Dict[str, Callable[..., Dict[str, Any]]] = \
     _register_lock_styles()
+WORKLOADS.update(_register_obs_demos())
 
 
 def run_workload(name: str, seed: int = 31) -> Dict[str, Any]:

@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional, Set
 from repro.analysis.hb import get_sanitizer
 from repro.errors import LockError
 from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 from repro.sim import Counter, Environment, Event
 
 SHARED = "shared"
@@ -74,7 +75,8 @@ class LockGrant:
 class _Waiter:
     """A queued acquire (or in-place upgrade) request."""
 
-    __slots__ = ("owner", "mode", "event", "enqueued_at", "upgrade_of")
+    __slots__ = ("owner", "mode", "event", "enqueued_at", "upgrade_of",
+                 "span")
 
     def __init__(self, owner: str, mode: str, event: Event,
                  enqueued_at: float,
@@ -84,6 +86,8 @@ class _Waiter:
         self.event = event
         self.enqueued_at = enqueued_at
         self.upgrade_of = upgrade_of
+        #: ``lock.acquire`` span covering the queued wait (tracing only).
+        self.span = None
 
 
 class LockTable:
@@ -137,8 +141,9 @@ class LockTable:
             self._record_wait(0.0)
             return event
         self.counters.incr("waits")
-        self._queues.setdefault(key, []).append(
-            _Waiter(owner, mode, event, self.env.now))
+        waiter = _Waiter(owner, mode, event, self.env.now)
+        self._open_wait_span(waiter, key)
+        self._queues.setdefault(key, []).append(waiter)
         return event
 
     def release(self, grant: LockGrant) -> None:
@@ -176,9 +181,10 @@ class LockTable:
         else:
             self.counters.incr("waits")
             # Upgraders queue at the front so no later writer overtakes.
-            self._queues.setdefault(grant.key, []).insert(
-                0, _Waiter(grant.owner, EXCLUSIVE, event, self.env.now,
-                           upgrade_of=grant))
+            waiter = _Waiter(grant.owner, EXCLUSIVE, event, self.env.now,
+                             upgrade_of=grant)
+            self._open_wait_span(waiter, grant.key)
+            self._queues.setdefault(grant.key, []).insert(0, waiter)
         return event
 
     def cancel_wait(self, key: str, event: Event) -> bool:
@@ -187,6 +193,7 @@ class LockTable:
         for waiter in queue:
             if waiter.event is event:
                 queue.remove(waiter)
+                self._close_wait_span(waiter, "cancelled")
                 self.counters.incr("cancelled")
                 return True
         return False
@@ -225,6 +232,30 @@ class LockTable:
         return notified
 
     # -- internals -------------------------------------------------------------
+
+    def _open_wait_span(self, waiter: _Waiter, key: str) -> None:
+        """Open a ``lock.acquire`` span covering a queued wait.
+
+        Immediate grants are not spanned (they would all be zero-width);
+        the contended tail is what the sim-time profiler's flame graph
+        needs to show.  The span parents under the requesting process's
+        actor span when the process was named (``env.process(name=...)``),
+        so per-actor profiles attribute lock waits to their actor.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
+        waiter.span = tracer.start_span(
+            "lock.acquire", at=self.env.now,
+            parent=getattr(self.env.active_process, "span", None),
+            key=key, owner=waiter.owner, mode=waiter.mode,
+            style=self.style)
+
+    def _close_wait_span(self, waiter: _Waiter, status: str = "ok") -> None:
+        if waiter.span is not None:
+            if status != "ok":
+                waiter.span.set_status(status)
+            waiter.span.finish(at=self.env.now)
 
     def _record_wait(self, waited: float) -> None:
         """Feed the acquire→grant delay into the metrics registry.
@@ -308,6 +339,7 @@ class LockTable:
                 if waiter.upgrade_of not in held:
                     # The underlying grant was released while waiting.
                     queue.pop(0)
+                    self._close_wait_span(waiter, "cancelled")
                     waiter.event.defuse()
                     continue
                 if any(h.owner != waiter.owner for h in held):
@@ -316,6 +348,7 @@ class LockTable:
                 waiter.upgrade_of.mode = EXCLUSIVE
                 self.counters.incr("upgrades")
                 self._record_wait(self.env.now - waiter.enqueued_at)
+                self._close_wait_span(waiter)
                 waiter.event.succeed(waiter.upgrade_of)
                 continue
             if not self._compatible(key, waiter.owner, waiter.mode):
@@ -324,4 +357,5 @@ class LockTable:
             grant = self._install(key, waiter.owner, waiter.mode)
             self.counters.incr("grants")
             self._record_wait(self.env.now - waiter.enqueued_at)
+            self._close_wait_span(waiter)
             waiter.event.succeed(grant)

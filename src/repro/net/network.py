@@ -16,6 +16,7 @@ from repro.net.packet import Packet
 from repro.net.topology import Topology
 from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.obs.propagation import extract
+from repro.obs.span import NOOP_SPAN
 from repro.obs.tracer import get_tracer
 from repro.sim import Counter, Environment, Store, Tally
 
@@ -132,11 +133,16 @@ class Network:
             return
         node = packet.src
         priority = packet.headers.get("priority", BEST_EFFORT_PRIORITY)
+        # Per-hop spans only exist for traces that are actually being
+        # retained: with the tracer disabled, or the trace sampled out at
+        # its head, every hop of every packet would otherwise still pay
+        # the span + label allocation — the dominant trace cost at scale.
+        record_hops = span.is_recording
         for link in links:
             hop = tracer.start_span(
                 "net.link", at=self.env.now, parent=span,
                 link="{}<->{}".format(link.a, link.b), node=node,
-                bytes=packet.wire_size)
+                bytes=packet.wire_size) if record_hops else NOOP_SPAN
             channel = link.channel(node)
             with channel.request(priority=priority) as claim:
                 yield claim

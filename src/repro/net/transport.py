@@ -43,10 +43,17 @@ class ReliableChannel:
         self.retransmissions = 0
         host.on_packet(port, self._on_packet)
 
-    def send(self, dst: str, payload: Any = None, size: int = 0) -> Event:
-        """Send reliably; the event fires on ack or fails TransportError."""
+    def send(self, dst: str, payload: Any = None, size: int = 0,
+             parent=None) -> Event:
+        """Send reliably; the event fires on ack or fails TransportError.
+
+        ``parent`` optionally names the caller's span (or span context);
+        the send's trace context then rides every data packet so the
+        per-link transit spans (and any retransmissions) parent under
+        one ``chan.send`` span.
+        """
         done = self.env.event()
-        self.env.process(self._send_proc(dst, payload, size, done))
+        self.env.process(self._send_proc(dst, payload, size, done, parent))
         return done
 
     def receive(self):
@@ -55,26 +62,37 @@ class ReliableChannel:
 
     # -- internals ---------------------------------------------------------
 
-    def _send_proc(self, dst: str, payload: Any, size: int, done: Event):
+    def _send_proc(self, dst: str, payload: Any, size: int, done: Event,
+                   parent=None):
         if dst not in self._seq:
             self._seq[dst] = itertools.count(1)
         seq = next(self._seq[dst])
+        span = get_tracer().start_span(
+            "chan.send", at=self.env.now, parent=parent,
+            node=self.host.name, dst=dst, seq=seq)
         attempts = 0
         while attempts <= self.max_retries:
             ack = self.env.event()
             self._pending_acks[(dst, seq)] = ack
             self.host.send(dst, payload=payload, size=size, port=self.port,
-                           headers={"type": "data", "seq": seq})
+                           headers=inject(span, {"type": "data",
+                                                 "seq": seq}))
             if attempts > 0:
                 self.retransmissions += 1
+                span.add_event("retransmit", at=self.env.now,
+                               attempt=attempts)
             result = yield self.env.any_of(
                 [ack, self.env.timeout(self.ack_timeout)])
             if ack in result:
                 self._pending_acks.pop((dst, seq), None)
+                span.finish(at=self.env.now)
                 done.succeed(seq)
                 return
             attempts += 1
         self._pending_acks.pop((dst, seq), None)
+        span.set_status("error")
+        span.set_attribute("error", "no-ack")
+        span.finish(at=self.env.now)
         done.fail(TransportError(
             "no ack from {} after {} attempts".format(
                 dst, self.max_retries + 1)))

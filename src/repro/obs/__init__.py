@@ -12,6 +12,16 @@ substrate.  This package provides it for every layer of the middleware:
 * **Metrics** — :class:`MetricsRegistry` unifies counters, histograms and
   gauges behind named, labelled instruments with one :meth:`snapshot()
   <MetricsRegistry.snapshot>`.
+* **Sampling** — :class:`Sampler` makes a deterministic keep/drop
+  decision per trace (same seed + rate ⇒ same traces, run after run);
+  the decision rides in packet headers so sampled traces stay complete
+  across nuclei, and ``max_spans`` bounds retention with a ring buffer.
+* **Profiling** — :class:`SpanProfile` turns span enter/exit into
+  per-operation / per-node / per-actor simulated-time accounting and
+  folded flame-graph stacks; ``python -m repro.obs.profile`` runs it
+  over any registered workload.
+* **SLOs** — :mod:`repro.obs.slo` evaluates declarative objectives over
+  the registry with multi-window burn rates and records alert events.
 * **Export** — :func:`dump_jsonl` (machine-readable) and
   :func:`dump_chrome_trace` (opens in ``about:tracing`` / Perfetto), plus
   the ``python -m repro.obs.report`` CLI for latency/traffic tables.
@@ -20,7 +30,7 @@ Quick start::
 
     from repro import obs
 
-    tracer = obs.enable_tracing()
+    tracer = obs.enable_tracing(sampler=obs.Sampler(rate=0.1, seed=31))
     ... run any simulation ...
     obs.dump_jsonl("run.jsonl", tracer=tracer)
     obs.dump_chrome_trace("run.trace.json", tracer=tracer)
@@ -32,6 +42,7 @@ from repro.obs.export import (
     dump_chrome_trace,
     dump_jsonl,
     load_jsonl,
+    load_jsonl_tolerant,
 )
 from repro.obs.metrics import (
     CounterInstrument,
@@ -42,7 +53,9 @@ from repro.obs.metrics import (
     set_metrics,
     use_metrics,
 )
+from repro.obs.profile import SpanProfile, render_profile
 from repro.obs.propagation import TRACE_HEADER, extract, inject
+from repro.obs.sampling import Sampler
 from repro.obs.span import NOOP_SPAN, NoopSpan, Span, SpanContext
 from repro.obs.tracer import (
     NOOP_TRACER,
@@ -64,8 +77,10 @@ __all__ = [
     "NOOP_TRACER",
     "NoopSpan",
     "NoopTracer",
+    "Sampler",
     "Span",
     "SpanContext",
+    "SpanProfile",
     "TRACE_HEADER",
     "Tracer",
     "chrome_trace",
@@ -78,6 +93,8 @@ __all__ = [
     "get_tracer",
     "inject",
     "load_jsonl",
+    "load_jsonl_tolerant",
+    "render_profile",
     "set_metrics",
     "set_tracer",
     "use_metrics",

@@ -11,7 +11,7 @@ mapped onto microseconds.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.obs.span import Span
@@ -57,6 +57,33 @@ def load_jsonl(path: str) -> List[Dict[str, Any]]:
             if line:
                 records.append(json.loads(line))
     return records
+
+
+def load_jsonl_tolerant(path: str) -> Tuple[List[Dict[str, Any]], int]:
+    """Parse a JSONL dump, skipping malformed lines.
+
+    Dumps from killed runs (or ``tail``-ed fragments of huge dumps) end
+    mid-line; the report and profile CLIs should still read the rest.
+    Returns ``(records, skipped)`` where ``skipped`` counts lines that
+    failed to parse or were not JSON objects.
+    """
+    records: List[Dict[str, Any]] = []
+    skipped = 0
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+            else:
+                skipped += 1
+    return records, skipped
 
 
 def chrome_trace(tracer: Optional[Tracer] = None) -> Dict[str, Any]:

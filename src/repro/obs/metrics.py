@@ -76,6 +76,10 @@ class HistogramInstrument:
     def mean(self) -> float:
         return self.tally.mean
 
+    def count_below(self, threshold: float) -> int:
+        """Observations ``<= threshold`` (the SLO "good event" count)."""
+        return sum(1 for value in self.tally.values if value <= threshold)
+
     def summary(self) -> Dict[str, float]:
         return self.tally.summary()
 
@@ -146,6 +150,34 @@ class MetricsRegistry:
         return {_render(key): instrument.value
                 for key, instrument in sorted(self._counters.items())
                 if name is None or key[0] == name}
+
+    # -- aggregation across label sets (the SLO layer's read path) ---------
+
+    @staticmethod
+    def _matches(key: LabelKey, name: str, labels: Dict[str, Any]) -> bool:
+        """Does an instrument key match ``name`` + a label *subset*?"""
+        if key[0] != name:
+            return False
+        have = dict(key[1])
+        return all(have.get(k) == str(v) for k, v in labels.items())
+
+    def counter_total(self, name: str, **labels: Any) -> int:
+        """Sum of every counter named ``name`` whose labels ⊇ ``labels``."""
+        return sum(inst.value for key, inst in sorted(self._counters.items())
+                   if self._matches(key, name, labels))
+
+    def histogram_count(self, name: str, **labels: Any) -> int:
+        """Total observations across matching histograms."""
+        return sum(inst.count
+                   for key, inst in sorted(self._histograms.items())
+                   if self._matches(key, name, labels))
+
+    def histogram_count_below(self, name: str, threshold: float,
+                              **labels: Any) -> int:
+        """Observations ``<= threshold`` across matching histograms."""
+        return sum(inst.count_below(threshold)
+                   for key, inst in sorted(self._histograms.items())
+                   if self._matches(key, name, labels))
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """Everything, as one nested dict for tables and assertions."""

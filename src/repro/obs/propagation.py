@@ -4,6 +4,14 @@ The simulated network carries arbitrary header dicts on every
 :class:`~repro.net.packet.Packet`; the trace context rides under one
 reserved key as a plain ``{"trace_id", "span_id"}`` dict, so it survives
 any serialisation the transport applies (it is already JSON-safe).
+
+The head-sampling decision (:mod:`repro.obs.sampling`) travels with the
+context as an extra ``"sampled": false`` entry — present *only* for
+sampled-out traces, so headers stay byte-identical to the pre-sampling
+format whenever no sampler is installed.  Receivers extract the flag via
+:meth:`SpanContext.from_dict` and their tracers then skip retention for
+the whole remote subtree, keeping sampled traces complete end to end and
+unsampled ones free everywhere.
 """
 
 from __future__ import annotations

@@ -14,17 +14,22 @@ functions to maintain.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import Any, Dict, Iterable, List, Sequence
 
-from repro.obs.export import load_jsonl
+from repro.obs.export import load_jsonl_tolerant
 from repro.sim.monitor import Tally
 
 
 def _table(title: str, headers: Sequence[str],
-           rows: Iterable[Sequence[Any]], out=None) -> None:
+           rows: Iterable[Sequence[Any]], out=None,
+           top: int = None) -> None:
     out = out if out is not None else sys.stdout
+    rows = list(rows)
+    clipped = 0
+    if top is not None and len(rows) > top:
+        clipped = len(rows) - top
+        rows = rows[:top]
     rendered = [[_fmt(cell) for cell in row] for row in rows]
     widths = [len(h) for h in headers]
     for row in rendered:
@@ -37,6 +42,9 @@ def _table(title: str, headers: Sequence[str],
     for row in rendered:
         out.write("  ".join("{:<{w}}".format(cell, w=w)
                             for cell, w in zip(row, widths)) + "\n")
+    if clipped:
+        out.write("... {} more row(s); raise --top to see them\n".format(
+            clipped))
 
 
 def _fmt(cell: Any) -> str:
@@ -68,8 +76,14 @@ def _durations(spans: Iterable[Dict[str, Any]], group_attr: str = None,
     return groups
 
 
-def render_report(records: List[Dict[str, Any]], out=None) -> None:
-    """Print every table the dump supports to ``out`` (default stdout)."""
+def render_report(records: List[Dict[str, Any]], out=None,
+                  top: int = None) -> None:
+    """Print every table the dump supports to ``out`` (default stdout).
+
+    ``top`` clips each table to its first N rows (tables are sorted, so
+    this is deterministic) — the knob that keeps reports of large dumps
+    readable.
+    """
     out = out if out is not None else sys.stdout
     spans = [r for r in records if r.get("kind") == "span"]
     metrics = [r for r in records if r.get("kind") == "metric"]
@@ -81,7 +95,7 @@ def render_report(records: List[Dict[str, Any]], out=None) -> None:
     _table("spans by operation",
            ["operation", "count", "mean (s)", "p95 (s)", "max (s)"],
            [(name, tally.count, tally.mean, tally.p95, tally.maximum)
-            for name, tally in sorted(by_name.items())], out)
+            for name, tally in sorted(by_name.items())], out, top=top)
 
     invokes = [s for s in spans if s["name"] in
                ("node.invoke", "rpc.serve")]
@@ -90,13 +104,13 @@ def render_report(records: List[Dict[str, Any]], out=None) -> None:
         _table("invocation latency by node",
                ["node", "count", "mean (s)", "p95 (s)"],
                [(node, tally.count, tally.mean, tally.p95)
-                for node, tally in sorted(by_node.items())], out)
+                for node, tally in sorted(by_node.items())], out, top=top)
     by_object = _durations(invokes, "oid")
     if by_object:
         _table("invocation latency by object",
                ["object", "count", "mean (s)", "p95 (s)"],
                [(oid, tally.count, tally.mean, tally.p95)
-                for oid, tally in sorted(by_object.items())], out)
+                for oid, tally in sorted(by_object.items())], out, top=top)
 
     transits = [s for s in spans if s["name"] == "net.transmit"]
     traffic: Dict[str, List[float]] = {}
@@ -112,7 +126,7 @@ def render_report(records: List[Dict[str, Any]], out=None) -> None:
         _table("traffic by source node",
                ["node", "packets", "bytes", "dropped"],
                [(src, int(c), int(b), int(d))
-                for src, (c, b, d) in sorted(traffic.items())], out)
+                for src, (c, b, d) in sorted(traffic.items())], out, top=top)
 
     counters = [m for m in metrics if m.get("type") == "counter"]
     if counters:
@@ -120,7 +134,7 @@ def render_report(records: List[Dict[str, Any]], out=None) -> None:
                [(m["name"],
                  ",".join("{}={}".format(k, v)
                           for k, v in sorted(m["labels"].items())) or "-",
-                 m["value"]) for m in counters], out)
+                 m["value"]) for m in counters], out, top=top)
     histograms = [m for m in metrics if m.get("type") == "histogram"]
     if histograms:
         _table("histograms",
@@ -129,7 +143,7 @@ def render_report(records: List[Dict[str, Any]], out=None) -> None:
                  ",".join("{}={}".format(k, v)
                           for k, v in sorted(m["labels"].items())) or "-",
                  int(m["summary"]["count"]), m["summary"]["mean"],
-                 m["summary"]["p95"]) for m in histograms], out)
+                 m["summary"]["p95"]) for m in histograms], out, top=top)
 
 
 def main(argv: Sequence[str] = None) -> int:
@@ -137,19 +151,24 @@ def main(argv: Sequence[str] = None) -> int:
         prog="python -m repro.obs.report",
         description="Summarise a repro observability JSONL dump.")
     parser.add_argument("dump", help="path to a dump_jsonl() file")
+    parser.add_argument("--top", type=int, default=None, metavar="N",
+                        help="show at most N rows per table")
     options = parser.parse_args(argv)
     try:
-        records = load_jsonl(options.dump)
+        records, skipped = load_jsonl_tolerant(options.dump)
     except OSError as exc:
         print("error: cannot read {}: {}".format(options.dump, exc),
               file=sys.stderr)
         return 2
-    except json.JSONDecodeError as exc:
-        print("error: {} is not a JSONL dump: {}".format(options.dump, exc),
-              file=sys.stderr)
+    if skipped:
+        print("note: skipped {} malformed JSONL line(s) (truncated "
+              "dump?)".format(skipped), file=sys.stderr)
+    if not records:
+        print("error: {} contains no parseable records".format(
+            options.dump), file=sys.stderr)
         return 2
     try:
-        render_report(records)
+        render_report(records, top=options.top)
     except BrokenPipeError:
         # Reader (e.g. ``| head``) closed the pipe early; not an error.
         sys.stderr.close()

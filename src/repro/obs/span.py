@@ -23,36 +23,61 @@ class SpanContext:
 
     Contexts cross the simulated network inside packet headers (see
     :mod:`repro.obs.propagation`), so a remote nucleus can parent its
-    serving span under the calling span.
+    serving span under the calling span.  ``sampled`` carries the
+    head-based sampling decision made at the trace root (see
+    :mod:`repro.obs.sampling`): descendants of an unsampled root are
+    never retained, on any node the trace touches.
     """
 
-    __slots__ = ("trace_id", "span_id")
+    __slots__ = ("trace_id", "span_id", "sampled")
 
-    def __init__(self, trace_id: str, span_id: str) -> None:
+    def __init__(self, trace_id: str, span_id: str,
+                 sampled: bool = True) -> None:
         self.trace_id = trace_id
         self.span_id = span_id
+        self.sampled = sampled
 
-    def to_dict(self) -> Dict[str, str]:
-        """A JSON-serialisable form, safe to place in packet headers."""
-        return {"trace_id": self.trace_id, "span_id": self.span_id}
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable form, safe to place in packet headers.
+
+        Sampled contexts serialise exactly as before sampling existed
+        (two keys), keeping packet headers byte-identical for runs that
+        never construct a sampler.
+        """
+        data: Dict[str, Any] = {"trace_id": self.trace_id,
+                                "span_id": self.span_id}
+        if not self.sampled:
+            data["sampled"] = False
+        return data
 
     @classmethod
-    def from_dict(cls, data: Dict[str, str]) -> "SpanContext":
-        return cls(data["trace_id"], data["span_id"])
+    def from_dict(cls, data: Dict[str, Any]) -> "SpanContext":
+        return cls(data["trace_id"], data["span_id"],
+                   sampled=data.get("sampled", True))
 
     def __repr__(self) -> str:
-        return "<SpanContext {}/{}>".format(self.trace_id, self.span_id)
+        return "<SpanContext {}/{}{}>".format(
+            self.trace_id, self.span_id,
+            "" if self.sampled else " unsampled")
 
 
 class Span:
-    """One recorded operation in a trace tree."""
+    """One recorded operation in a trace tree.
+
+    A span whose trace was sampled out still exists transiently (its
+    context must propagate so downstream nodes honour the decision) but
+    is created with ``recorded=False``, is never retained by the tracer
+    and reports :attr:`is_recording` as ``False`` so hot paths can skip
+    per-hop span work entirely.
+    """
 
     __slots__ = ("name", "context", "parent_id", "start", "end",
-                 "attributes", "events", "status")
+                 "attributes", "events", "status", "recorded")
 
     def __init__(self, name: str, context: SpanContext,
                  parent_id: Optional[str], start: float,
-                 attributes: Optional[Dict[str, Any]] = None) -> None:
+                 attributes: Optional[Dict[str, Any]] = None,
+                 recorded: bool = True) -> None:
         self.name = name
         self.context = context
         self.parent_id = parent_id
@@ -61,10 +86,11 @@ class Span:
         self.attributes: Dict[str, Any] = attributes or {}
         self.events: List[Dict[str, Any]] = []
         self.status = OK
+        self.recorded = recorded
 
     @property
     def is_recording(self) -> bool:
-        return True
+        return self.recorded
 
     @property
     def trace_id(self) -> str:

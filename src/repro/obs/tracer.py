@@ -17,22 +17,45 @@ simulations rely on.
 
 from __future__ import annotations
 
+import collections
 import contextlib
 import itertools
 from typing import Any, Dict, List, Optional, Union
 
+from repro.obs.sampling import Sampler
 from repro.obs.span import NOOP_SPAN, NoopSpan, Span, SpanContext
 
 ParentLike = Union[Span, SpanContext, Dict[str, str], None]
 
 
 class Tracer:
-    """Creates and retains spans; one instance per collection scope."""
+    """Creates and retains spans; one instance per collection scope.
 
-    def __init__(self) -> None:
-        self.spans: List[Span] = []
+    ``sampler`` enables head-based trace sampling: the keep/drop decision
+    is made once per trace, when its root span starts, and inherited by
+    every descendant (including remote ones, via the propagated context).
+    Unsampled spans are created but never retained, so a huge workload
+    traced at rate *r* pays O(r) trace memory.
+
+    ``max_spans`` bounds retention with a ring buffer: once full, the
+    oldest span is evicted per new span (``evicted`` counts them), so
+    memory stays bounded even at rate 1.0.
+    """
+
+    def __init__(self, sampler: Optional[Sampler] = None,
+                 max_spans: Optional[int] = None) -> None:
+        if max_spans is not None and max_spans <= 0:
+            raise ValueError("max_spans must be positive")
+        self.sampler = sampler
+        self.max_spans = max_spans
+        self.spans = collections.deque(maxlen=max_spans) \
+            if max_spans is not None else []
         self._trace_ids = itertools.count(1)
         self._span_ids = itertools.count(1)
+        #: Spans pushed out of the ring buffer.
+        self.evicted = 0
+        #: Spans discarded by the head sampler (never retained).
+        self.sampled_out = 0
 
     @property
     def enabled(self) -> bool:
@@ -50,13 +73,26 @@ class Tracer:
         if parent_ctx is None:
             trace_id = "t{}".format(next(self._trace_ids))
             parent_id = None
+            sampled = True if self.sampler is None \
+                else self.sampler.sample(trace_id, name)
         else:
             trace_id = parent_ctx.trace_id
             parent_id = parent_ctx.span_id
-        context = SpanContext(trace_id, "s{}".format(next(self._span_ids)))
-        span = Span(name, context, parent_id, at, attributes or None)
-        self.spans.append(span)
+            sampled = getattr(parent_ctx, "sampled", True)
+        context = SpanContext(trace_id, "s{}".format(next(self._span_ids)),
+                              sampled=sampled)
+        span = Span(name, context, parent_id, at, attributes or None,
+                    recorded=sampled)
+        if sampled:
+            self._retain(span)
+        else:
+            self.sampled_out += 1
         return span
+
+    def _retain(self, span: Span) -> None:
+        if self.max_spans is not None and len(self.spans) == self.max_spans:
+            self.evicted += 1
+        self.spans.append(span)
 
     @contextlib.contextmanager
     def span(self, name: str, env, parent: ParentLike = None,
@@ -79,19 +115,29 @@ class Tracer:
                 if span.context.trace_id == trace_id]
 
     def clear(self) -> None:
-        self.spans = []
+        self.spans = collections.deque(maxlen=self.max_spans) \
+            if self.max_spans is not None else []
+        self.evicted = 0
+        self.sampled_out = 0
 
     def __len__(self) -> int:
         return len(self.spans)
 
     def __repr__(self) -> str:
-        return "<Tracer spans={}>".format(len(self.spans))
+        return "<Tracer spans={}{}{}>".format(
+            len(self.spans),
+            " sampler={!r}".format(self.sampler) if self.sampler else "",
+            " evicted={}".format(self.evicted) if self.evicted else "")
 
 
 class NoopTracer:
     """The disabled tracer: records nothing, allocates nothing."""
 
     spans: List[Span] = []
+    sampler: Optional[Sampler] = None
+    max_spans: Optional[int] = None
+    evicted = 0
+    sampled_out = 0
 
     @property
     def enabled(self) -> bool:
@@ -142,9 +188,14 @@ def set_tracer(tracer: Optional[Union[Tracer, NoopTracer]]
     return previous
 
 
-def enable_tracing() -> Tracer:
-    """Install and return a fresh recording tracer."""
-    tracer = Tracer()
+def enable_tracing(sampler: Optional[Sampler] = None,
+                   max_spans: Optional[int] = None) -> Tracer:
+    """Install and return a fresh recording tracer.
+
+    ``sampler`` turns on head-based trace sampling; ``max_spans`` bounds
+    retention with a ring buffer (see :class:`Tracer`).
+    """
+    tracer = Tracer(sampler=sampler, max_spans=max_spans)
     set_tracer(tracer)
     return tracer
 

@@ -63,9 +63,28 @@ class Environment:
         """Create an event that fires ``delay`` seconds from now."""
         return Timeout(self, delay, value)
 
-    def process(self, generator) -> Process:
-        """Start a new process from a generator."""
-        return Process(self, generator)
+    def process(self, generator, name: Optional[str] = None) -> Process:
+        """Start a new process from a generator.
+
+        ``name`` optionally labels the process as an *actor* for the
+        sim-time profiler (:mod:`repro.obs.profile`): while a recording
+        tracer is installed, the process's whole lifetime is wrapped in
+        an ``actor.run`` span (exposed as ``process.span``), so per-actor
+        simulated-time accounting — and parenting of the actor's own
+        spans via ``env.active_process.span`` — comes for free.  Unnamed
+        processes and runs without a tracer are completely unaffected.
+        """
+        process = Process(self, generator)
+        if name is not None:
+            from repro.obs.tracer import get_tracer
+            tracer = get_tracer()
+            if tracer.enabled:
+                span = tracer.start_span("actor.run", at=self._now,
+                                         actor=name)
+                process.span = span
+                process.callbacks.append(
+                    lambda _event: span.finish(at=self._now))
+        return process
 
     def all_of(self, events) -> AllOf:
         """An event that fires when all of ``events`` have fired."""

@@ -1,0 +1,76 @@
+"""The bench telemetry harness: schema, merging, env override."""
+
+import json
+import os
+
+import pytest
+
+from benchmarks import _util
+
+
+@pytest.fixture
+def telemetry_file(tmp_path, monkeypatch):
+    path = str(tmp_path / "BENCH_TEST.json")
+    monkeypatch.setenv("REPRO_BENCH_TELEMETRY", path)
+    return path
+
+
+def test_telemetry_path_env_override(telemetry_file):
+    assert _util.telemetry_path() == telemetry_file
+
+
+def test_record_run_writes_schema_document(telemetry_file):
+    entry = _util.record_run("demo_bench", sim_time_s=12.5, events=100,
+                             metrics={"wait_mean": 1.234567891})
+    with open(telemetry_file) as handle:
+        document = json.load(handle)
+    assert document["schema"] == _util.TELEMETRY_SCHEMA
+    assert document["benches"]["demo_bench"] == entry
+    assert entry["sim_time_s"] == 12.5
+    assert entry["events"] == 100
+    # Floats are rounded for a stable, diffable checked-in file.
+    assert entry["metrics"]["wait_mean"] == 1.234568
+    assert "wall_time_s" in entry
+
+
+def test_record_run_merges_entries(telemetry_file):
+    _util.record_run("bench_a", metrics={"x": 1})
+    _util.record_run("bench_b", metrics={"y": 2})
+    _util.record_run("bench_a", metrics={"x": 3})   # overwrite own entry
+    with open(telemetry_file) as handle:
+        document = json.load(handle)
+    assert set(document["benches"]) == {"bench_a", "bench_b"}
+    assert document["benches"]["bench_a"]["metrics"]["x"] == 3
+    assert document["benches"]["bench_b"]["metrics"]["y"] == 2
+
+
+def test_record_run_recovers_from_corrupt_file(telemetry_file):
+    with open(telemetry_file, "w") as handle:
+        handle.write("{corrupt")
+    _util.record_run("bench_a", metrics={})
+    with open(telemetry_file) as handle:
+        document = json.load(handle)
+    assert "bench_a" in document["benches"]
+
+
+def test_missing_fields_are_null(telemetry_file):
+    entry = _util.record_run("partial_bench", metrics={"m": 1})
+    assert entry["sim_time_s"] is None
+    assert entry["events"] is None
+
+
+def test_checked_in_document_is_valid():
+    """The committed BENCH_PR3.json matches the schema with >=5 benches."""
+    path = os.path.join(os.path.dirname(_util.__file__), os.pardir,
+                        "BENCH_PR3.json")
+    with open(path) as handle:
+        document = json.load(handle)
+    assert document["schema"] == _util.TELEMETRY_SCHEMA
+    assert len(document["benches"]) >= 5
+    for name, entry in document["benches"].items():
+        assert isinstance(entry["wall_time_s"], float), name
+        assert isinstance(entry["metrics"], dict), name
+        assert entry["sim_time_s"] is None \
+            or isinstance(entry["sim_time_s"], (int, float)), name
+        assert entry["events"] is None \
+            or isinstance(entry["events"], int), name

@@ -1,0 +1,67 @@
+"""The registered telemetry demo workloads: shape and replayability."""
+
+import json
+
+from repro.analysis.replay import run_isolated
+from repro.analysis.workloads import WORKLOADS, run_workload
+from repro.obs.demo import slo_burn_workload, traced_rpc_workload
+
+
+def test_workloads_are_registered():
+    assert WORKLOADS["traced-rpc"] is traced_rpc_workload
+    assert WORKLOADS["slo-burn"] is slo_burn_workload
+
+
+class TestTracedRpc:
+
+    def test_result_shape_and_sampling(self):
+        result = run_workload("traced-rpc", seed=31)
+        # All clients finish all their requests regardless of sampling.
+        assert set(result["completed"].values()) == {8}
+        assert result["posts"] == 24
+        # The head sampler kept some traces and dropped some spans.
+        assert result["sampled_traces"]
+        assert result["spans_retained"] > 0
+        assert result["spans_sampled_out"] > 0
+        # Memory stayed inside the configured ring.
+        assert result["spans_retained"] <= 256
+        # The profile is part of the result and sees real sim time.
+        assert result["profile"]["rpc.call"]["count"] > 0
+
+    def test_result_is_json_serialisable_and_deterministic(self):
+        first = json.dumps(run_workload("traced-rpc", seed=31),
+                           sort_keys=True)
+        second = json.dumps(run_workload("traced-rpc", seed=31),
+                            sort_keys=True)
+        assert first == second
+
+    def test_different_seed_samples_different_traces(self):
+        a = run_workload("traced-rpc", seed=31)
+        b = run_workload("traced-rpc", seed=32)
+        assert a["sampled_traces"] != b["sampled_traces"] \
+            or a["env"] != b["env"]
+
+    def test_replay_isolated(self):
+        a = run_isolated("traced-rpc", seed=31)
+        b = run_isolated("traced-rpc", seed=31)
+        assert json.dumps(a, sort_keys=True) == \
+            json.dumps(b, sort_keys=True)
+
+
+class TestSloBurn:
+
+    def test_alert_fires_during_degradation_and_clears_after(self):
+        result = run_workload("slo-burn", seed=31)
+        assert result["fired"] == 1
+        assert result["cleared"] == 1
+        # Fires inside the degraded phase (20..45), clears after it.
+        assert 20.0 <= result["first_fired_at"] <= 45.0
+        assert result["first_cleared_at"] > 45.0
+        assert result["active"] == []
+
+    def test_deterministic(self):
+        first = json.dumps(run_workload("slo-burn", seed=31),
+                           sort_keys=True)
+        second = json.dumps(run_workload("slo-burn", seed=31),
+                            sort_keys=True)
+        assert first == second

@@ -89,3 +89,46 @@ def test_default_noop_dump_has_no_spans(tmp_path):
     records = obs.load_jsonl(path)
     assert lines == len(records)
     assert all(record["kind"] == "metric" for record in records)
+
+
+def test_report_cli_top_clips_tables(traced_run, capsys):
+    path, _ = traced_run
+    assert main([path, "--top", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "more row(s); raise --top" in out
+
+
+def test_tolerant_loader_skips_truncated_lines(traced_run):
+    path, lines = traced_run
+    with open(path) as handle:
+        content = handle.read()
+    # Simulate a dump cut off mid-write: last line truncated, plus a
+    # garbage line injected in the middle.
+    rows = content.splitlines()
+    rows.insert(len(rows) // 2, "{not json")
+    rows[-1] = rows[-1][: len(rows[-1]) // 2]
+    with open(path, "w") as handle:
+        handle.write("\n".join(rows))
+    records, skipped = obs.load_jsonl_tolerant(path)
+    assert skipped == 2
+    assert len(records) == lines - 1
+
+
+def test_report_cli_tolerates_truncated_dump(traced_run, capsys):
+    path, _ = traced_run
+    with open(path) as handle:
+        content = handle.read()
+    with open(path, "w") as handle:
+        handle.write(content[: int(len(content) * 0.8)])
+    assert main([path]) == 0
+    captured = capsys.readouterr()
+    assert "skipped" in captured.err
+    assert "spans by operation" in captured.out
+
+
+def test_report_cli_rejects_dump_with_no_records(tmp_path, capsys):
+    path = str(tmp_path / "garbage.jsonl")
+    with open(path, "w") as handle:
+        handle.write("not json at all\n{{{\n")
+    assert main([path]) == 2
+    assert "no parseable records" in capsys.readouterr().err
