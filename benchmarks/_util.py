@@ -39,10 +39,16 @@ def run_once(benchmark, fn):
     return benchmark.pedantic(timed, rounds=1, iterations=1)
 
 
-def telemetry_path() -> str:
-    """Where record_run() writes (env override for tests / CI smoke)."""
-    return os.environ.get("REPRO_BENCH_TELEMETRY",
-                          os.path.join(_REPO_ROOT, "BENCH_PR3.json"))
+def telemetry_path(default: Optional[str] = None) -> str:
+    """Where record_run() writes (env override for tests / CI smoke).
+
+    ``default`` names an alternative document (a path relative to the
+    repo root, e.g. ``BENCH_PR4.json``) for benches that report into a
+    different file; the ``REPRO_BENCH_TELEMETRY`` override still wins.
+    """
+    fallback = os.path.join(_REPO_ROOT, default) if default \
+        else os.path.join(_REPO_ROOT, "BENCH_PR3.json")
+    return os.environ.get("REPRO_BENCH_TELEMETRY", fallback)
 
 
 def _json_value(value: Any) -> Any:
@@ -55,7 +61,8 @@ def _json_value(value: Any) -> Any:
 
 def record_run(name: str, metrics: Optional[Dict[str, Any]] = None,
                sim_time_s: Optional[float] = None,
-               events: Optional[int] = None) -> Dict[str, Any]:
+               events: Optional[int] = None,
+               path: Optional[str] = None) -> Dict[str, Any]:
     """Merge one bench's telemetry entry into the shared document.
 
     The document is read-modify-written so each bench owns only its own
@@ -71,7 +78,7 @@ def record_run(name: str, metrics: Optional[Dict[str, Any]] = None,
         "metrics": {key: _json_value(value)
                     for key, value in sorted((metrics or {}).items())},
     }
-    path = telemetry_path()
+    path = telemetry_path(path)
     document: Dict[str, Any] = {"schema": TELEMETRY_SCHEMA, "benches": {}}
     if os.path.exists(path):
         try:

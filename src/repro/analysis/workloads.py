@@ -122,10 +122,24 @@ def _register_obs_demos() -> Dict[str, Callable[..., Dict[str, Any]]]:
             "slo-burn": slo_burn_workload}
 
 
+def _register_chaos() -> Dict[str, Callable[..., Dict[str, Any]]]:
+    # Imported here (like the obs demos) to keep the groups/sessions/
+    # qos stack off the import path of modules that only need the
+    # lock workloads — and to avoid closing the transport → policies
+    # import cycle (see repro.faults.__init__).
+    from repro.faults.chaos import (
+        flaky_links_workload,
+        partition_recovery_workload,
+    )
+    return {"partition-recovery": partition_recovery_workload,
+            "flaky-links": flaky_links_workload}
+
+
 #: Registry of named workloads for the races / replay / profile CLIs.
 WORKLOADS: Dict[str, Callable[..., Dict[str, Any]]] = \
     _register_lock_styles()
 WORKLOADS.update(_register_obs_demos())
+WORKLOADS.update(_register_chaos())
 
 
 def run_workload(name: str, seed: int = 31) -> Dict[str, Any]:

@@ -17,6 +17,7 @@ from repro.awareness.events import (
     ACTION_JOIN,
     ACTION_LEAVE,
     ACTION_MOVE,
+    ACTION_SUSPECTED,
     ACTION_VIEW,
     AwarenessBus,
     AwarenessEvent,
@@ -39,6 +40,7 @@ __all__ = [
     "ACTION_JOIN",
     "ACTION_LEAVE",
     "ACTION_MOVE",
+    "ACTION_SUSPECTED",
     "ACTION_VIEW",
     "AwarenessBus",
     "AwarenessEvent",

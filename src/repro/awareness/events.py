@@ -26,6 +26,7 @@ ACTION_VIEW = "view"
 ACTION_JOIN = "join"
 ACTION_LEAVE = "leave"
 ACTION_MOVE = "move"
+ACTION_SUSPECTED = "suspected"
 
 
 class AwarenessEvent:

@@ -1,0 +1,67 @@
+"""Deterministic fault injection and recovery (§2.3).
+
+*"Reliability stems from the system as a whole"* — this package supplies
+both halves of that claim: the machinery to *inject* failures
+(:mod:`repro.faults.schedule`: timed node crashes, link cuts and flaps,
+partitions, latency storms, loss bursts — all seeded, all
+replay-checkable) and the machinery to *survive* them
+(:mod:`repro.faults.policies`: backoff/deadline/circuit-breaker;
+:mod:`repro.faults.detector`: phi-accrual adaptive suspicion;
+:mod:`repro.faults.degrade`: graceful degradation of QoS and session
+mode).  Chaos workloads live in :mod:`repro.faults.chaos` and register
+in :data:`repro.analysis.workloads.WORKLOADS`.
+
+Import note: :mod:`~repro.faults.detector`, :mod:`~repro.faults.degrade`
+and :mod:`~repro.faults.chaos` are exposed lazily (PEP 562) because they
+import the groups/sessions/node layers, which themselves import
+:mod:`repro.net.transport` — and transport imports
+:mod:`repro.faults.policies`.  Eager imports here would close that
+cycle.
+"""
+
+from repro.faults.policies import (
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineBudget,
+    FaultPolicies,
+    RetryPolicy,
+    fixed_retry,
+)
+from repro.faults.schedule import (
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+)
+
+#: Lazily imported name -> defining submodule.
+_LAZY = {
+    "PhiAccrualDetector": "repro.faults.detector",
+    "DegradationManager": "repro.faults.degrade",
+    "DEGRADED": "repro.faults.degrade",
+    "FULL_SERVICE": "repro.faults.degrade",
+}
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeadlineBudget",
+    "DegradationManager",
+    "DEGRADED",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPolicies",
+    "FaultSchedule",
+    "FULL_SERVICE",
+    "PhiAccrualDetector",
+    "RetryPolicy",
+    "fixed_retry",
+]
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(
+            "module {!r} has no attribute {!r}".format(__name__, name))
+    import importlib
+    return getattr(importlib.import_module(module_name), name)

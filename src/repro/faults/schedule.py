@@ -1,0 +1,405 @@
+"""Declarative, deterministic fault schedules and their injector.
+
+A :class:`FaultSchedule` is a plain list of timed :class:`FaultEvent`
+records — node crashes and restarts, link cuts, flaps, network
+partitions, latency storms and loss bursts — built through chainable
+helper methods.  A :class:`FaultInjector` executes the schedule against
+a :class:`~repro.net.network.Network` as one simulation process.
+
+Determinism is the design centre: events fire at declared simulated
+times in declared order, flaps and timed impairments are expanded into
+explicit event pairs when the schedule is *built* (not when it runs),
+and the whole schedule serialises via :meth:`FaultSchedule.to_dict` so a
+replay digest covers exactly the faults that were injected.  The same
+seed plus the same schedule therefore yields a byte-identical run, and
+with no schedule installed nothing in this module ever executes.
+
+Every injected event emits a ``fault.<kind>`` span and a
+``fault.injected`` counter through :mod:`repro.obs`, so chaos runs are
+first-class citizens of the tracing/report pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
+
+#: Event kinds understood by the injector.
+KINDS = (
+    "link-down", "link-up",
+    "partition", "heal",
+    "node-crash", "node-restart",
+    "latency-storm", "latency-calm",
+    "loss-burst", "loss-calm",
+)
+
+
+class FaultEvent:
+    """One timed fault: ``(at, kind, params)`` with a stable tie-break."""
+
+    __slots__ = ("at", "kind", "params", "seq")
+
+    def __init__(self, at: float, kind: str,
+                 params: Dict[str, Any], seq: int) -> None:
+        if at < 0:
+            raise SimulationError("fault time must be non-negative")
+        if kind not in KINDS:
+            raise SimulationError("unknown fault kind: " + kind)
+        self.at = at
+        self.kind = kind
+        self.params = params
+        self.seq = seq
+
+    @property
+    def sort_key(self) -> Tuple[float, int]:
+        return (self.at, self.seq)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe record (feeds the replay digest)."""
+        record: Dict[str, Any] = {"at": self.at, "kind": self.kind}
+        record.update({key: self.params[key]
+                       for key in sorted(self.params)})
+        return record
+
+    def __repr__(self) -> str:
+        return "<FaultEvent {} @{:g} {}>".format(
+            self.kind, self.at, self.params)
+
+
+class FaultSchedule:
+    """A buildable, serialisable list of fault events.
+
+    Helper methods append events; durations and flap counts expand into
+    explicit paired events immediately, so the executed sequence is
+    fully visible in :meth:`to_dict` before the run starts.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[FaultEvent] = []
+        self._seq = 0
+
+    def _add(self, at: float, kind: str, **params: Any) -> "FaultSchedule":
+        self.events.append(FaultEvent(at, kind, params, self._seq))
+        self._seq += 1
+        return self
+
+    # -- links --------------------------------------------------------------
+
+    def link_down(self, at: float, a: str, b: str,
+                  up_at: Optional[float] = None) -> "FaultSchedule":
+        """Cut the ``a``–``b`` link (optionally restoring at ``up_at``)."""
+        self._add(at, "link-down", a=a, b=b)
+        if up_at is not None:
+            if up_at <= at:
+                raise SimulationError("up_at must be after at")
+            self._add(up_at, "link-up", a=a, b=b)
+        return self
+
+    def link_up(self, at: float, a: str, b: str) -> "FaultSchedule":
+        """Restore the ``a``–``b`` link."""
+        return self._add(at, "link-up", a=a, b=b)
+
+    def link_flap(self, at: float, a: str, b: str, count: int,
+                  period: float) -> "FaultSchedule":
+        """``count`` down/up cycles of length ``period`` (half down,
+        half up), starting at ``at`` — expanded into explicit events."""
+        if count < 1:
+            raise SimulationError("flap count must be >= 1")
+        if period <= 0:
+            raise SimulationError("flap period must be positive")
+        for i in range(count):
+            start = at + i * period
+            self._add(start, "link-down", a=a, b=b, flap=i)
+            self._add(start + period / 2.0, "link-up", a=a, b=b, flap=i)
+        return self
+
+    # -- partitions ---------------------------------------------------------
+
+    def partition(self, at: float, groups: Sequence[Sequence[str]],
+                  name: str = "partition",
+                  heal_at: Optional[float] = None) -> "FaultSchedule":
+        """Split the network: every link crossing between two of the
+        ``groups`` goes down.  ``heal(name)`` (or ``heal_at``) reverses
+        exactly the links this partition cut."""
+        if len(groups) < 2:
+            raise SimulationError("a partition needs at least two groups")
+        self._add(at, "partition", name=name,
+                  groups=[sorted(group) for group in groups])
+        if heal_at is not None:
+            if heal_at <= at:
+                raise SimulationError("heal_at must be after at")
+            self._add(heal_at, "heal", name=name)
+        return self
+
+    def heal(self, at: float, name: str = "partition") -> "FaultSchedule":
+        """Restore the links cut by the named partition."""
+        return self._add(at, "heal", name=name)
+
+    # -- nodes --------------------------------------------------------------
+
+    def node_crash(self, at: float, node: str,
+                   restart_at: Optional[float] = None) -> "FaultSchedule":
+        """Fail-stop ``node`` from the network's point of view: every
+        adjacent link goes down (its local processes keep running — their
+        packets simply stop arriving, which is what a remote observer of
+        a crashed node actually sees)."""
+        self._add(at, "node-crash", node=node)
+        if restart_at is not None:
+            if restart_at <= at:
+                raise SimulationError("restart_at must be after at")
+            self._add(restart_at, "node-restart", node=node)
+        return self
+
+    def node_restart(self, at: float, node: str) -> "FaultSchedule":
+        """Bring a crashed node's links back up."""
+        return self._add(at, "node-restart", node=node)
+
+    # -- impairments --------------------------------------------------------
+
+    def latency_storm(self, at: float, scale: float, duration: float,
+                      links: Optional[Sequence[Tuple[str, str]]] = None
+                      ) -> "FaultSchedule":
+        """Multiply propagation latency by ``scale`` on ``links`` (all
+        links when ``None``) for ``duration`` seconds."""
+        if scale <= 0:
+            raise SimulationError("latency scale must be positive")
+        if duration <= 0:
+            raise SimulationError("storm duration must be positive")
+        targets = self._targets(links)
+        self._add(at, "latency-storm", scale=scale, links=targets)
+        self._add(at + duration, "latency-calm", scale=scale,
+                  links=targets)
+        return self
+
+    def loss_burst(self, at: float, extra_loss: float, duration: float,
+                   links: Optional[Sequence[Tuple[str, str]]] = None
+                   ) -> "FaultSchedule":
+        """Add ``extra_loss`` drop probability on ``links`` (all when
+        ``None``) for ``duration`` seconds."""
+        if not 0 < extra_loss < 1:
+            raise SimulationError("extra_loss must be in (0, 1)")
+        if duration <= 0:
+            raise SimulationError("burst duration must be positive")
+        targets = self._targets(links)
+        self._add(at, "loss-burst", extra_loss=extra_loss, links=targets)
+        self._add(at + duration, "loss-calm", extra_loss=extra_loss,
+                  links=targets)
+        return self
+
+    @staticmethod
+    def _targets(links: Optional[Sequence[Tuple[str, str]]]
+                 ) -> Optional[List[List[str]]]:
+        if links is None:
+            return None
+        return [sorted((a, b)) for a, b in links]
+
+    # -- introspection ------------------------------------------------------
+
+    def ordered(self) -> List[FaultEvent]:
+        """Events in execution order (time, then declaration order)."""
+        return sorted(self.events, key=lambda event: event.sort_key)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A canonical JSON-safe form for replay digests."""
+        return {"events": [event.to_dict() for event in self.ordered()]}
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return "<FaultSchedule events={}>".format(len(self.events))
+
+
+class FaultInjector:
+    """Executes a :class:`FaultSchedule` against a network.
+
+    Link state is reference-counted: a link cut by both a partition and
+    a node crash stays down until *both* faults lift, so overlapping
+    faults compose instead of cancelling.  Every executed event lands in
+    :attr:`log` (JSON-safe, for workload results), emits a
+    ``fault.<kind>`` span and counts in ``fault.injected``.
+
+    ``on_fault`` callbacks (added via :meth:`add_listener`) let a
+    workload react to injections — e.g. start rejoin after a ``heal``.
+    """
+
+    def __init__(self, env, network, schedule: FaultSchedule,
+                 name: str = "fault-injector") -> None:
+        self.env = env
+        self.network = network
+        self.schedule = schedule
+        self.name = name
+        self.log: List[Dict[str, Any]] = []
+        self._down_counts: Dict[Tuple[str, str], int] = {}
+        self._partitions: Dict[str, List[Tuple[str, str]]] = {}
+        self._crashed: Dict[str, List[Tuple[str, str]]] = {}
+        self._listeners: List[Callable[[FaultEvent], None]] = []
+        self.process = env.process(self._run(), name=name)
+
+    def add_listener(self, callback: Callable[[FaultEvent], None]) -> None:
+        """Call ``callback(event)`` after each event executes."""
+        self._listeners.append(callback)
+
+    @property
+    def links_down(self) -> int:
+        """Links currently held down by the injector."""
+        return sum(1 for count in self._down_counts.values() if count > 0)
+
+    # -- internals ----------------------------------------------------------
+
+    def _run(self):
+        tracer = get_tracer()
+        metrics = get_metrics()
+        for event in self.schedule.ordered():
+            if event.at > self.env.now:
+                yield self.env.timeout(event.at - self.env.now)
+            span = tracer.start_span(
+                "fault." + event.kind, at=self.env.now,
+                injector=self.name, **_span_attrs(event))
+            affected = self._execute(event)
+            metrics.counter("fault.injected", kind=event.kind).add()
+            metrics.gauge("fault.links_down").set(
+                self.links_down, at=self.env.now)
+            span.set_attribute("links_affected", affected)
+            span.finish(at=self.env.now)
+            entry = {"at": self.env.now, "kind": event.kind,
+                     "links_affected": affected}
+            entry.update(_span_attrs(event))
+            self.log.append(entry)
+            for listener in self._listeners:
+                listener(event)
+
+    def _execute(self, event: FaultEvent) -> int:
+        kind = event.kind
+        params = event.params
+        if kind == "link-down":
+            return self._down([(params["a"], params["b"])])
+        if kind == "link-up":
+            return self._up([(params["a"], params["b"])])
+        if kind == "partition":
+            crossing = self._crossing_links(params["groups"])
+            self._partitions[params["name"]] = crossing
+            return self._down(crossing)
+        if kind == "heal":
+            crossing = self._partitions.pop(params["name"], [])
+            return self._up(crossing)
+        if kind == "node-crash":
+            adjacent = self._adjacent_links(params["node"])
+            self._crashed[params["node"]] = adjacent
+            return self._down(adjacent)
+        if kind == "node-restart":
+            adjacent = self._crashed.pop(params["node"], [])
+            return self._up(adjacent)
+        if kind == "latency-storm":
+            return self._impair(params["links"],
+                                latency_scale=params["scale"])
+        if kind == "latency-calm":
+            return self._relieve(params["links"],
+                                 latency_scale=params["scale"])
+        if kind == "loss-burst":
+            return self._impair(params["links"],
+                                extra_loss=params["extra_loss"])
+        if kind == "loss-calm":
+            return self._relieve(params["links"],
+                                 extra_loss=params["extra_loss"])
+        raise SimulationError("unhandled fault kind: " + kind)
+
+    # -- link-state bookkeeping ---------------------------------------------
+
+    def _key(self, a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a < b else (b, a)
+
+    def _down(self, pairs: Sequence[Tuple[str, str]]) -> int:
+        topology = self.network.topology
+        for a, b in pairs:
+            key = self._key(a, b)
+            self._down_counts[key] = self._down_counts.get(key, 0) + 1
+            topology.link_between(a, b).set_up(False)
+        if pairs:
+            topology.invalidate_routes()
+        return len(pairs)
+
+    def _up(self, pairs: Sequence[Tuple[str, str]]) -> int:
+        topology = self.network.topology
+        for a, b in pairs:
+            key = self._key(a, b)
+            count = self._down_counts.get(key, 0)
+            if count <= 1:
+                self._down_counts.pop(key, None)
+                topology.link_between(a, b).set_up(True)
+            else:
+                self._down_counts[key] = count - 1
+        if pairs:
+            topology.invalidate_routes()
+        return len(pairs)
+
+    def _impair(self, targets, latency_scale: float = 1.0,
+                extra_loss: float = 0.0) -> int:
+        links = self._resolve(targets)
+        for link in links:
+            link.impair(latency_scale=latency_scale,
+                        extra_loss=extra_loss)
+        return len(links)
+
+    def _relieve(self, targets, latency_scale: float = 1.0,
+                 extra_loss: float = 0.0) -> int:
+        links = self._resolve(targets)
+        for link in links:
+            link.relieve(latency_scale=latency_scale,
+                         extra_loss=extra_loss)
+        return len(links)
+
+    def _resolve(self, targets) -> List[Any]:
+        if targets is None:
+            return sorted(self.network.topology.links(),
+                          key=lambda link: (link.a, link.b))
+        return [self.network.topology.link_between(a, b)
+                for a, b in targets]
+
+    def _crossing_links(self, groups: Sequence[Sequence[str]]
+                        ) -> List[Tuple[str, str]]:
+        membership: Dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for node in group:
+                if node in membership:
+                    raise SimulationError(
+                        "{} appears in two partition groups".format(node))
+                membership[node] = index
+        crossing: List[Tuple[str, str]] = []
+        for link in sorted(self.network.topology.links(),
+                           key=lambda link: (link.a, link.b)):
+            side_a = membership.get(link.a)
+            side_b = membership.get(link.b)
+            if side_a is not None and side_b is not None \
+                    and side_a != side_b:
+                crossing.append((link.a, link.b))
+        return crossing
+
+    def _adjacent_links(self, node: str) -> List[Tuple[str, str]]:
+        topology = self.network.topology
+        return [(node, peer) if node < peer else (peer, node)
+                for peer in sorted(topology.neighbours(node))]
+
+    def __repr__(self) -> str:
+        return "<FaultInjector {} events={} links_down={}>".format(
+            self.name, len(self.schedule), self.links_down)
+
+
+def _span_attrs(event: FaultEvent) -> Dict[str, Any]:
+    """Small, JSON-safe span/log attributes for one event."""
+    attrs: Dict[str, Any] = {}
+    for key in sorted(event.params):
+        value = event.params[key]
+        if key == "groups":
+            attrs["groups"] = "|".join(",".join(g) for g in value)
+        elif key == "links":
+            attrs["links"] = "all" if value is None else len(value)
+        elif key == "name":
+            # Avoid colliding with start_span's positional span name.
+            attrs["fault_name"] = value
+        else:
+            attrs[key] = value
+    return attrs

@@ -9,6 +9,7 @@ and deadline-bounded group invocation.
 from repro.groups.clocks import LamportClock, VectorClock
 from repro.groups.failure import (
     HEARTBEAT_PORT,
+    FixedTimeout,
     HeartbeatMonitor,
     HeartbeatSender,
     MonitoredMembership,
@@ -48,6 +49,7 @@ __all__ = [
     "GroupMessage",
     "GroupView",
     "HEARTBEAT_PORT",
+    "FixedTimeout",
     "HeartbeatMonitor",
     "HeartbeatSender",
     "LamportClock",

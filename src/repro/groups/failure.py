@@ -1,10 +1,17 @@
 """Heartbeat failure detection for process groups.
 
-Each member periodically sends a heartbeat to the monitor; a member not
-heard from within ``suspect_after`` seconds is *suspected* and reported.
-Wired to :meth:`ProcessGroup.fail_member`, suspicion drives view changes —
-the availability half of the paper's "reliability stems from the system as
+Each member periodically sends a heartbeat to the monitor; a member the
+suspicion *strategy* gives up on is *suspected* and reported.  Wired to
+:meth:`ProcessGroup.fail_member`, suspicion drives view changes — the
+availability half of the paper's "reliability stems from the system as
 a whole" observation (§2.3).
+
+The suspicion decision is pluggable: the default
+:class:`FixedTimeout` strategy reproduces the classic
+"silent for ``suspect_after`` seconds" rule exactly, while
+:class:`repro.faults.detector.PhiAccrualDetector` adapts the threshold
+to the observed heartbeat arrival distribution (so latency storms do
+not trigger false suspicions the way a fixed timeout does).
 """
 
 from __future__ import annotations
@@ -17,6 +24,35 @@ from repro.net.packet import Packet
 from repro.sim import Environment
 
 HEARTBEAT_PORT = 21
+
+
+class FixedTimeout:
+    """The classic suspicion rule: silent for ``suspect_after`` seconds.
+
+    This is the default :class:`HeartbeatMonitor` strategy and preserves
+    its historical behaviour bit for bit.
+    """
+
+    def __init__(self, suspect_after: float) -> None:
+        if suspect_after <= 0:
+            raise GroupError("suspect_after must be positive")
+        self.suspect_after = suspect_after
+
+    def watch(self, member: str, now: float) -> None:
+        """A member came under observation at ``now``."""
+
+    def forget(self, member: str) -> None:
+        """A member left observation."""
+
+    def observe(self, member: str, now: float) -> None:
+        """A heartbeat from ``member`` arrived at ``now``."""
+
+    def suspect(self, member: str, silent_for: float, now: float) -> bool:
+        """Should ``member`` (silent for ``silent_for``) be suspected?"""
+        return silent_for >= self.suspect_after
+
+    def __repr__(self) -> str:
+        return "<FixedTimeout {:g}s>".format(self.suspect_after)
 
 
 class HeartbeatSender:
@@ -37,6 +73,13 @@ class HeartbeatSender:
         """Simulate the member crashing (heartbeats cease)."""
         self.alive = False
 
+    def restart(self) -> None:
+        """Bring a stopped member back (heartbeats resume)."""
+        if self.alive:
+            return
+        self.alive = True
+        self.process = self.env.process(self._run())
+
     def _run(self):
         while self.alive:
             self.host.send(self.monitor_node, payload=self.host.name,
@@ -48,14 +91,16 @@ class HeartbeatSender:
 class MonitoredMembership:
     """Wires heartbeat failure detection to a group's membership.
 
-    Every member sends heartbeats to the coordinator's host; a silent
-    member is suspected and removed from the view automatically (a clean
-    ``leave`` through the group, so the view change installs everywhere).
-    Simulate a crash with :meth:`crash`.
+    Every member sends heartbeats to the coordinator's host; a member
+    the strategy gives up on is suspected and removed from the view
+    automatically (a clean ``leave`` through the group, so the view
+    change installs everywhere).  Simulate a crash with :meth:`crash`;
+    a recovered member rejoins the group via :meth:`restart`.
     """
 
     def __init__(self, group, interval: float = 0.5,
-                 suspect_after: float = 2.0) -> None:
+                 suspect_after: float = 2.0,
+                 strategy=None) -> None:
         coordinator = group.coordinator
         if coordinator is None:
             raise GroupError("cannot monitor an empty group")
@@ -68,7 +113,8 @@ class MonitoredMembership:
             monitor_host, [m for m in members if m != coordinator],
             suspect_after=suspect_after,
             check_interval=interval / 2,
-            on_suspect=self._on_suspect)
+            on_suspect=self._on_suspect,
+            strategy=strategy)
         for member in members:
             if member == coordinator:
                 continue
@@ -93,19 +139,48 @@ class MonitoredMembership:
             raise GroupError("{} is not monitored".format(member))
         sender.stop()
 
+    def restart(self, member: str) -> None:
+        """Bring a previously suspected/crashed member back.
+
+        If suspicion already removed the member from the view, it
+        rejoins the group (installing a fresh view at every endpoint);
+        either way its heartbeats resume and monitoring restarts.
+        """
+        if member not in self.group.endpoints:
+            self.group.join(member)
+        sender = self.senders.get(member)
+        if sender is not None:
+            sender.restart()
+            self.monitor.watch(member)
+        else:
+            self.watch_new_member(member)
+
     def _on_suspect(self, member: str) -> None:
         self.monitor.unwatch(member)
-        self.senders.pop(member, None)
+        sender = self.senders.pop(member, None)
+        if sender is not None:
+            # Without this the suspected member's sender process keeps
+            # emitting heartbeats forever (and a later restart would
+            # double them up).
+            sender.stop()
         self.group.fail_member(member)
 
 
 class HeartbeatMonitor:
-    """Watches heartbeats and reports suspected members."""
+    """Watches heartbeats and reports suspected members.
+
+    ``strategy`` decides *when* silence becomes suspicion; the default
+    :class:`FixedTimeout` uses ``suspect_after`` unchanged.  Any object
+    with ``watch/forget/observe/suspect`` methods (see
+    :class:`FixedTimeout` for signatures) may be supplied instead —
+    e.g. :class:`repro.faults.detector.PhiAccrualDetector`.
+    """
 
     def __init__(self, host: Host, members: List[str],
                  suspect_after: float = 3.0,
                  check_interval: float = 0.5,
-                 on_suspect: Optional[Callable[[str], None]] = None) -> None:
+                 on_suspect: Optional[Callable[[str], None]] = None,
+                 strategy=None) -> None:
         if suspect_after <= 0 or check_interval <= 0:
             raise GroupError("timeouts must be positive")
         self.host = host
@@ -113,41 +188,59 @@ class HeartbeatMonitor:
         self.suspect_after = suspect_after
         self.check_interval = check_interval
         self.on_suspect = on_suspect
+        self.strategy = strategy if strategy is not None \
+            else FixedTimeout(suspect_after)
+        self.alive = True
         self.last_heard: Dict[str, float] = {
             member: self.env.now for member in members}
+        for member in members:
+            self.strategy.watch(member, self.env.now)
         self.suspected: List[str] = []
         host.on_packet(HEARTBEAT_PORT, self._on_heartbeat)
         self.process = self.env.process(self._run())
 
     def watch(self, member: str) -> None:
-        """Start watching an additional member."""
+        """Start (or resume) watching a member."""
         self.last_heard[member] = self.env.now
+        if member in self.suspected:
+            self.suspected.remove(member)
+        self.strategy.watch(member, self.env.now)
 
     def unwatch(self, member: str) -> None:
         """Stop watching a member (e.g. after a clean leave)."""
         self.last_heard.pop(member, None)
         if member in self.suspected:
             self.suspected.remove(member)
+        self.strategy.forget(member)
+
+    def stop(self) -> None:
+        """Simulate the monitor itself crashing (checks cease)."""
+        self.alive = False
 
     def is_suspected(self, member: str) -> bool:
         return member in self.suspected
 
     def _on_heartbeat(self, packet: Packet) -> None:
+        if not self.alive:
+            return
         member = packet.payload
         if member in self.last_heard:
             self.last_heard[member] = self.env.now
+            self.strategy.observe(member, self.env.now)
             if member in self.suspected:
                 # The member was wrongly suspected and has reappeared.
                 self.suspected.remove(member)
 
     def _run(self):
-        while True:
+        while self.alive:
             yield self.env.timeout(self.check_interval)
+            if not self.alive:
+                return
             now = self.env.now
             for member, heard in list(self.last_heard.items()):
                 silent = now - heard
-                if silent >= self.suspect_after \
-                        and member not in self.suspected:
+                if member not in self.suspected \
+                        and self.strategy.suspect(member, silent, now):
                     self.suspected.append(member)
                     if self.on_suspect is not None:
                         self.on_suspect(member)

@@ -204,6 +204,7 @@ class ProcessGroup:
         self.endpoints: Dict[str, GroupEndpoint] = {}
         self.view = GroupView(0, ())
         self._global_seq = itertools.count(1)
+        self._on_view: List[Callable[[GroupView], None]] = []
         #: Optional application-state provider for late-join transfer:
         #: () -> (snapshot, size_bytes).
         self._state_provider: Optional[Callable[[],
@@ -257,6 +258,14 @@ class ProcessGroup:
         if host_name in self.endpoints:
             self.leave(host_name)
 
+    def on_view(self, callback: Callable[[GroupView], None]) -> None:
+        """Call ``callback(view)`` after each new view installs.
+
+        Failure-detection and recovery experiments use this to timestamp
+        view changes (e.g. measuring partition-to-recovery latency).
+        """
+        self._on_view.append(callback)
+
     def endpoint(self, host_name: str) -> GroupEndpoint:
         """The endpoint for ``host_name``."""
         try:
@@ -275,6 +284,8 @@ class ProcessGroup:
         # whose latency is not under test).
         for endpoint in self.endpoints.values():
             endpoint._install_view(self.view)
+        for callback in self._on_view:
+            callback(self.view)
 
     def _sequence(self, message: GroupMessage) -> None:
         """Sequencer role: stamp a total-order slot and re-broadcast."""

@@ -52,6 +52,12 @@ class Link:
         #: Routing cost multiplier (communications management raises it
         #: on congested links so routes steer around them).
         self.weight_multiplier = 1.0
+        # Fault-injection impairments (repro.faults): a latency storm
+        # multiplies propagation delay, a loss burst adds drop
+        # probability.  Both compose across overlapping faults and are
+        # exactly inert at (1.0, 0.0).
+        self._latency_scale = 1.0
+        self._extra_loss = 0.0
         self._rng = rng or random.Random(0)  # repro: allow-RPR002 (constant-seeded fallback)
         # Priority channels let QoS-reserved flows pre-empt queued
         # best-effort packets (the engineering enforcement behind §4.2.2).
@@ -91,22 +97,51 @@ class Link:
         return (wire_bytes * 8.0) / self.bandwidth
 
     def propagation_delay(self) -> float:
-        """Latency plus a uniform jitter draw."""
+        """Latency (scaled by any active storm) plus a jitter draw."""
+        delay = self.latency * self._latency_scale
         if self.jitter <= 0:
-            return self.latency
-        return self.latency + self._rng.uniform(0, self.jitter)
+            return delay
+        return delay + self._rng.uniform(0, self.jitter)
 
     def drops_packet(self) -> bool:
         """Bernoulli loss draw (also true while the link is down)."""
         if not self.up:
             return True
-        if self.loss <= 0:
+        probability = self.loss + self._extra_loss
+        if probability <= 0:
             return False
-        return self._rng.random() < self.loss
+        return self._rng.random() < min(probability, 1.0)
 
     def set_up(self, up: bool) -> None:
         """Administratively raise or cut the link."""
         self.up = up
+
+    def impair(self, latency_scale: float = 1.0,
+               extra_loss: float = 0.0) -> None:
+        """Apply a fault impairment (composes with any already active)."""
+        if latency_scale <= 0:
+            raise NetworkError("latency_scale must be positive")
+        if extra_loss < 0:
+            raise NetworkError("extra_loss must be non-negative")
+        self._latency_scale *= latency_scale
+        self._extra_loss += extra_loss
+
+    def relieve(self, latency_scale: float = 1.0,
+                extra_loss: float = 0.0) -> None:
+        """Reverse a previously applied :meth:`impair`."""
+        if latency_scale <= 0:
+            raise NetworkError("latency_scale must be positive")
+        self._latency_scale /= latency_scale
+        if abs(self._latency_scale - 1.0) < 1e-12:
+            self._latency_scale = 1.0
+        self._extra_loss -= extra_loss
+        if self._extra_loss < 1e-12:
+            self._extra_loss = 0.0
+
+    @property
+    def impaired(self) -> bool:
+        """Is any storm/burst impairment currently active?"""
+        return self._latency_scale != 1.0 or self._extra_loss != 0.0
 
     def __repr__(self) -> str:
         return "<Link {}<->{} {:.3g}ms {:.3g}Mb/s>".format(

@@ -13,25 +13,43 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.analysis.hb import extract_clock, inject_clock
 from repro.errors import TransportError
+from repro.faults.policies import (
+    CircuitOpenError,
+    FaultPolicies,
+    RetryPolicy,
+    fixed_retry,
+)
 from repro.net.network import Host
 from repro.net.packet import Packet
+from repro.obs.metrics import get_metrics
 from repro.obs.propagation import extract, inject
 from repro.obs.tracer import get_tracer
 from repro.sim import Event, Store
 
 
 class ReliableChannel:
-    """Acknowledged, deduplicated, per-sender FIFO delivery on one port."""
+    """Acknowledged, deduplicated, per-sender FIFO delivery on one port.
+
+    Retransmission timing comes from a
+    :class:`~repro.faults.policies.RetryPolicy`.  The default —
+    ``fixed_retry(ack_timeout, max_retries)`` — reproduces the classic
+    constant-interval behaviour exactly; pass ``backoff`` for
+    exponential backoff with deterministic jitter under loss.
+    """
 
     def __init__(self, host: Host, port: int = 1,
-                 ack_timeout: float = 0.2, max_retries: int = 8) -> None:
+                 ack_timeout: float = 0.2, max_retries: int = 8,
+                 backoff: Optional[RetryPolicy] = None) -> None:
         if max_retries < 0:
             raise TransportError("max_retries must be non-negative")
         self.host = host
         self.env = host.env
         self.port = port
         self.ack_timeout = ack_timeout
-        self.max_retries = max_retries
+        self.max_retries = max_retries if backoff is None \
+            else backoff.max_retries
+        self.backoff = backoff if backoff is not None \
+            else fixed_retry(ack_timeout, max_retries)
         # Sequence numbers are per destination: the receiver reorders by
         # (sender, seq), so a shared counter would leave permanent gaps
         # for receivers that only see part of the stream.
@@ -41,6 +59,12 @@ class ReliableChannel:
         self._reorder: Dict[str, Dict[int, Packet]] = {}
         self._app_inbox = Store(self.env)
         self.retransmissions = 0
+        #: Retries performed (== retransmissions; mirrored in the
+        #: metrics registry as ``chan.retries``).
+        self.retries = 0
+        #: Sends abandoned after exhausting every retry
+        #: (``chan.gave_up`` in the registry).
+        self.gave_up = 0
         host.on_packet(port, self._on_packet)
 
     def send(self, dst: str, payload: Any = None, size: int = 0,
@@ -79,10 +103,16 @@ class ReliableChannel:
                                                  "seq": seq}))
             if attempts > 0:
                 self.retransmissions += 1
+                self.retries += 1
+                get_metrics().counter("chan.retries",
+                                      node=self.host.name, dst=dst).add()
                 span.add_event("retransmit", at=self.env.now,
                                attempt=attempts)
+            # The ack wait for attempt N is the backoff delay before
+            # retry N — the default fixed_retry policy makes every wait
+            # ``ack_timeout``, the channel's historical behaviour.
             result = yield self.env.any_of(
-                [ack, self.env.timeout(self.ack_timeout)])
+                [ack, self.env.timeout(self.backoff.delay(attempts))])
             if ack in result:
                 self._pending_acks.pop((dst, seq), None)
                 span.finish(at=self.env.now)
@@ -90,6 +120,9 @@ class ReliableChannel:
                 return
             attempts += 1
         self._pending_acks.pop((dst, seq), None)
+        self.gave_up += 1
+        get_metrics().counter("chan.gave_up",
+                              node=self.host.name, dst=dst).add()
         span.set_status("error")
         span.set_attribute("error", "no-ack")
         span.finish(at=self.env.now)
@@ -144,13 +177,18 @@ class RpcEndpoint:
 
     def __init__(self, host: Host, port: int = 2,
                  default_timeout: float = 5.0,
-                 request_size: int = 256, response_size: int = 256) -> None:
+                 request_size: int = 256, response_size: int = 256,
+                 policies: Optional[FaultPolicies] = None) -> None:
         self.host = host
         self.env = host.env
         self.port = port
         self.default_timeout = default_timeout
         self.request_size = request_size
         self.response_size = response_size
+        #: Optional recovery policies (retry/deadline/circuit-breaker)
+        #: applied to outgoing calls.  ``None`` — the default — leaves
+        #: the single-attempt behaviour byte-identical.
+        self.policies = policies
         self._handlers: Dict[str, Callable] = {}
         self._calls: Dict[int, Event] = {}
         self._call_ids = itertools.count(1)
@@ -180,38 +218,74 @@ class RpcEndpoint:
 
     def _call_proc(self, dst: str, method: str, args: Any,
                    timeout: float, done: Event, parent=None):
-        call_id = next(self._call_ids)
-        reply = self.env.event()
-        self._calls[call_id] = reply
+        policies = self.policies
+        retry = policies.retry if policies is not None else None
+        breaker = policies.breaker if policies is not None else None
+        budget = policies.budget(self.env) if policies is not None else None
         span = get_tracer().start_span(
             "rpc.call", at=self.env.now, parent=parent,
             node=self.host.name, dst=dst, method=method)
-        # The happens-before sanitizer rides the same headers as the
-        # trace context: the serving host becomes causally ordered
-        # after the caller's history (and vice versa on the response).
-        self.host.send(dst, payload={"method": method, "args": args},
-                       size=self.request_size, port=self.port,
-                       headers=inject_clock(
-                           inject(span, {"type": "request",
-                                         "call": call_id}),
-                           self.host.name))
-        result = yield self.env.any_of(
-            [reply, self.env.timeout(timeout)])
-        self._calls.pop(call_id, None)
-        if reply not in result:
-            span.set_status("error")
-            span.set_attribute("error", "timeout")
-            span.finish(at=self.env.now)
-            done.fail(RpcError("call {} to {} timed out after {:g}s".format(
-                method, dst, timeout)))
-            return
-        ok, value = reply.value
-        span.finish(at=self.env.now)
-        if ok:
-            done.succeed(value)
-        else:
-            span.set_status("error")
-            done.fail(RemoteException(value))
+        attempt = 0
+        while True:
+            if breaker is not None and not breaker.allow(dst):
+                span.set_status("error")
+                span.set_attribute("error", "circuit-open")
+                span.finish(at=self.env.now)
+                done.fail(CircuitOpenError(
+                    "circuit to {} is open; {} not attempted".format(
+                        dst, method)))
+                return
+            call_id = next(self._call_ids)
+            reply = self.env.event()
+            self._calls[call_id] = reply
+            # The happens-before sanitizer rides the same headers as the
+            # trace context: the serving host becomes causally ordered
+            # after the caller's history (and vice versa on the response).
+            self.host.send(dst, payload={"method": method, "args": args},
+                           size=self.request_size, port=self.port,
+                           headers=inject_clock(
+                               inject(span, {"type": "request",
+                                             "call": call_id}),
+                               self.host.name))
+            result = yield self.env.any_of(
+                [reply, self.env.timeout(timeout)])
+            self._calls.pop(call_id, None)
+            if reply in result:
+                ok, value = reply.value
+                if breaker is not None:
+                    # Any response — even a remote exception — proves
+                    # the destination reachable; only transport-level
+                    # timeouts accrue toward opening the circuit.
+                    breaker.record_success(dst)
+                span.finish(at=self.env.now)
+                if ok:
+                    done.succeed(value)
+                else:
+                    span.set_status("error")
+                    done.fail(RemoteException(value))
+                return
+            # Timed out: maybe retry (within policy and budget).
+            if breaker is not None:
+                breaker.record_failure(dst)
+            delay = None
+            if retry is not None and attempt < retry.max_retries:
+                delay = retry.delay(attempt)
+                if budget is not None and not budget.allows(delay):
+                    delay = None
+            if delay is None:
+                span.set_status("error")
+                span.set_attribute("error", "timeout")
+                span.finish(at=self.env.now)
+                done.fail(RpcError(
+                    "call {} to {} timed out after {:g}s".format(
+                        method, dst, timeout)))
+                return
+            get_metrics().counter("rpc.retries",
+                                  node=self.host.name, dst=dst).add()
+            span.add_event("rpc-retry", at=self.env.now,
+                           attempt=attempt, delay=delay)
+            yield self.env.timeout(delay)
+            attempt += 1
 
     def _on_packet(self, packet: Packet) -> None:
         kind = packet.headers.get("type")

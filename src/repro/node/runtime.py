@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from repro.errors import NodeError, PlacementError
+from repro.faults.policies import CircuitOpenError, FaultPolicies
 from repro.net.network import Host, Network
 from repro.net.transport import RemoteException, RpcEndpoint, RpcError
 from repro.node.objects import Capsule, Cluster, EngineeringObject
@@ -42,16 +43,21 @@ class Nucleus:
     """Per-node engineering support: capsules, invocation, migration."""
 
     def __init__(self, host: Host, registry_node: str,
-                 registry: Optional[Registry] = None) -> None:
+                 registry: Optional[Registry] = None,
+                 policies: Optional[FaultPolicies] = None) -> None:
         self.host = host
         self.env = host.env
         self.node_name = host.name
         self.registry_node = registry_node
         #: Non-None only on the registry node itself.
         self.registry = registry
+        #: Optional recovery policies for this nucleus's outgoing RPC
+        #: (retry with backoff, deadline budget, circuit breaker).
+        #: ``None`` keeps the invoke path byte-identical.
+        self.policies = policies
         self.capsules: Dict[str, Capsule] = {}
         self._location_cache: Dict[str, str] = {}
-        self.rpc = RpcEndpoint(host, port=RPC_PORT)
+        self.rpc = RpcEndpoint(host, port=RPC_PORT, policies=policies)
         self.rpc.register("invoke", self._handle_invoke)
         self.rpc.register("migrate_in", self._handle_migrate_in)
         self.rpc.register("whereis", self._handle_whereis)
@@ -165,6 +171,14 @@ class Nucleus:
                 span.set_status("error")
                 span.finish(at=self.env.now)
                 done.fail(NodeError(str(error)))
+                return
+            except CircuitOpenError as error:
+                # Fail fast, preserving the distinct type so callers can
+                # tell "refused locally" from "tried and timed out".
+                span.set_status("error")
+                span.set_attribute("error", "circuit-open")
+                span.finish(at=self.env.now)
+                done.fail(error)
                 return
             except RpcError as error:
                 span.set_status("error")
@@ -320,11 +334,15 @@ class Nucleus:
 class ODPRuntime:
     """Convenience: a whole network of nuclei with one registry."""
 
-    def __init__(self, network: Network, registry_node: str) -> None:
+    def __init__(self, network: Network, registry_node: str,
+                 policies: Optional[FaultPolicies] = None) -> None:
         self.network = network
         self.env = network.env
         self.registry = Registry()
         self.registry_node = registry_node
+        #: Shared recovery policies handed to every nucleus (a shared
+        #: circuit breaker aggregates failure history across callers).
+        self.policies = policies
         self.nuclei: Dict[str, Nucleus] = {}
         self.nucleus(registry_node)
 
@@ -335,7 +353,8 @@ class ODPRuntime:
             registry = self.registry if node_name == self.registry_node \
                 else None
             self.nuclei[node_name] = Nucleus(
-                host, self.registry_node, registry=registry)
+                host, self.registry_node, registry=registry,
+                policies=self.policies)
         return self.nuclei[node_name]
 
     def locate(self, oid: str) -> Optional[str]:

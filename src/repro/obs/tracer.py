@@ -43,19 +43,35 @@ class Tracer:
     """
 
     def __init__(self, sampler: Optional[Sampler] = None,
-                 max_spans: Optional[int] = None) -> None:
+                 max_spans: Optional[int] = None,
+                 tail_keep_errors: bool = False,
+                 tail_buffer: Optional[int] = None) -> None:
         if max_spans is not None and max_spans <= 0:
             raise ValueError("max_spans must be positive")
+        if tail_buffer is not None and tail_buffer <= 0:
+            raise ValueError("tail_buffer must be positive")
         self.sampler = sampler
         self.max_spans = max_spans
+        #: Tail-based sampling: when on, head-sampled-out spans are
+        #: buffered per trace instead of discarded; :meth:`tail_flush`
+        #: promotes any buffered trace containing a non-ok span (error,
+        #: drop) into :attr:`spans` and discards the rest.  Off by
+        #: default — runs that never opt in are byte-identical.
+        self.tail_keep_errors = tail_keep_errors
+        self.tail_buffer = tail_buffer
         self.spans = collections.deque(maxlen=max_spans) \
             if max_spans is not None else []
         self._trace_ids = itertools.count(1)
         self._span_ids = itertools.count(1)
+        self._tail_pending: "collections.OrderedDict[str, List[Span]]" = \
+            collections.OrderedDict()
+        self._tail_pending_spans = 0
         #: Spans pushed out of the ring buffer.
         self.evicted = 0
         #: Spans discarded by the head sampler (never retained).
         self.sampled_out = 0
+        #: Head-sampled-out spans rescued by tail sampling.
+        self.tail_promoted = 0
 
     @property
     def enabled(self) -> bool:
@@ -82,9 +98,13 @@ class Tracer:
         context = SpanContext(trace_id, "s{}".format(next(self._span_ids)),
                               sampled=sampled)
         span = Span(name, context, parent_id, at, attributes or None,
-                    recorded=sampled)
+                    recorded=sampled or self.tail_keep_errors)
         if sampled:
             self._retain(span)
+        elif self.tail_keep_errors:
+            # Record but hold aside: tail_flush() decides the trace's
+            # fate once its outcome (ok vs. error/drop) is known.
+            self._tail_hold(span)
         else:
             self.sampled_out += 1
         return span
@@ -93,6 +113,40 @@ class Tracer:
         if self.max_spans is not None and len(self.spans) == self.max_spans:
             self.evicted += 1
         self.spans.append(span)
+
+    def _tail_hold(self, span: Span) -> None:
+        trace = self._tail_pending.setdefault(span.trace_id, [])
+        trace.append(span)
+        self._tail_pending_spans += 1
+        while self.tail_buffer is not None \
+                and self._tail_pending_spans > self.tail_buffer \
+                and len(self._tail_pending) > 1:
+            # Overflow: the oldest buffered trace loses its chance.
+            _, evicted = self._tail_pending.popitem(last=False)
+            self._tail_pending_spans -= len(evicted)
+            self.sampled_out += len(evicted)
+
+    def tail_flush(self) -> int:
+        """Resolve the tail-sampling buffer; returns spans promoted.
+
+        Buffered traces containing at least one non-``ok`` span (an
+        error or a packet drop) are promoted into :attr:`spans` in
+        buffering order; fully healthy traces are discarded (counted in
+        :attr:`sampled_out`, exactly as if the head decision had stood).
+        Call after a workload settles — typically right before export.
+        """
+        promoted = 0
+        for spans in self._tail_pending.values():
+            if any(span.status != "ok" for span in spans):
+                for span in spans:
+                    self._retain(span)
+                promoted += len(spans)
+                self.tail_promoted += len(spans)
+            else:
+                self.sampled_out += len(spans)
+        self._tail_pending.clear()
+        self._tail_pending_spans = 0
+        return promoted
 
     @contextlib.contextmanager
     def span(self, name: str, env, parent: ParentLike = None,
@@ -117,8 +171,11 @@ class Tracer:
     def clear(self) -> None:
         self.spans = collections.deque(maxlen=self.max_spans) \
             if self.max_spans is not None else []
+        self._tail_pending.clear()
+        self._tail_pending_spans = 0
         self.evicted = 0
         self.sampled_out = 0
+        self.tail_promoted = 0
 
     def __len__(self) -> int:
         return len(self.spans)
@@ -138,6 +195,12 @@ class NoopTracer:
     max_spans: Optional[int] = None
     evicted = 0
     sampled_out = 0
+    tail_keep_errors = False
+    tail_buffer: Optional[int] = None
+    tail_promoted = 0
+
+    def tail_flush(self) -> int:
+        return 0
 
     @property
     def enabled(self) -> bool:
@@ -189,13 +252,20 @@ def set_tracer(tracer: Optional[Union[Tracer, NoopTracer]]
 
 
 def enable_tracing(sampler: Optional[Sampler] = None,
-                   max_spans: Optional[int] = None) -> Tracer:
+                   max_spans: Optional[int] = None,
+                   tail_keep_errors: bool = False,
+                   tail_buffer: Optional[int] = None) -> Tracer:
     """Install and return a fresh recording tracer.
 
     ``sampler`` turns on head-based trace sampling; ``max_spans`` bounds
-    retention with a ring buffer (see :class:`Tracer`).
+    retention with a ring buffer; ``tail_keep_errors`` additionally
+    rescues head-sampled-out traces that turn out to contain an error
+    or drop span (resolve with :meth:`Tracer.tail_flush`;
+    ``tail_buffer`` bounds the holding area).  See :class:`Tracer`.
     """
-    tracer = Tracer(sampler=sampler, max_spans=max_spans)
+    tracer = Tracer(sampler=sampler, max_spans=max_spans,
+                    tail_keep_errors=tail_keep_errors,
+                    tail_buffer=tail_buffer)
     set_tracer(tracer)
     return tracer
 

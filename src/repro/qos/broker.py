@@ -103,6 +103,39 @@ class QoSBroker:
         self.counters.incr("renegotiations")
         return contract
 
+    def shed(self, contract: QoSContract,
+             fraction: float = 0.5) -> QoSContract:
+        """Gracefully degrade a contract toward its negotiated minimum.
+
+        Drops the agreed throughput by ``fraction`` (of the current
+        level), clamped at the contract's minimum — media quality falls
+        rather than the flow failing.  Shedding only moves downward, so
+        it never needs capacity and cannot raise
+        :class:`QoSNegotiationFailed`.
+        """
+        if not 0 < fraction <= 1:
+            raise QoSError("shed fraction must be in (0, 1]")
+        target = max(contract.minimum.throughput,
+                     contract.agreed.throughput * (1.0 - fraction))
+        if target >= contract.agreed.throughput:
+            return contract
+        self.counters.incr("sheds")
+        return self.renegotiate(contract, target)
+
+    def restore(self, contract: QoSContract) -> QoSContract:
+        """Raise a degraded contract back toward its desired level,
+        limited by what every link on the path can currently carry."""
+        links = self._contract_links.get(contract.contract_id)
+        if links is None:
+            raise QoSError("unknown contract " + contract.contract_id)
+        headroom = min(self.residual(link) for link in links)
+        target = min(contract.desired.throughput,
+                     contract.agreed.throughput + max(headroom, 0.0))
+        if target <= contract.agreed.throughput:
+            return contract
+        self.counters.incr("restores")
+        return self.renegotiate(contract, target)
+
     def release(self, contract: QoSContract) -> None:
         """Tear down a contract and return its reservation."""
         if contract.contract_id not in self.contracts:

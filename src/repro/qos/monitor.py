@@ -15,7 +15,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.errors import QoSError
 from repro.obs.metrics import get_metrics
-from repro.qos.params import QoSContract, QoSParameters
+from repro.qos.params import CLOSED, QoSContract, QoSParameters
 from repro.sim import Counter, Environment
 
 
@@ -61,8 +61,8 @@ class QoSMonitor:
                  window: float = 1.0,
                  on_violation: Optional[Callable[[QoSObservation],
                                                  None]] = None,
-                 expected_frames_per_window: Optional[float] = None
-                 ) -> None:
+                 expected_frames_per_window: Optional[float] = None,
+                 stop_on_violation: bool = True) -> None:
         if window <= 0:
             raise QoSError("monitoring window must be positive")
         self.env = env
@@ -70,6 +70,12 @@ class QoSMonitor:
         self.window = window
         self.on_violation = on_violation
         self.expected_frames = expected_frames_per_window
+        #: Historically a violated window ended monitoring (the contract
+        #: leaves the active states).  Pass ``False`` to keep measuring
+        #: through a violation — required when an SLO burn-rate alert
+        #: consumes the per-window feed, since the alert needs to watch
+        #: the flow *recover* as well as fail.
+        self.stop_on_violation = stop_on_violation
         self._samples: List[Tuple[float, float, int]] = []
         self.observations: List[QoSObservation] = []
         self.counters = Counter()
@@ -94,8 +100,13 @@ class QoSMonitor:
 
     # -- internals -------------------------------------------------------------
 
+    def _monitoring(self) -> bool:
+        if self.stop_on_violation:
+            return self.contract.is_active
+        return self.contract.state != CLOSED
+
     def _run(self):
-        while self.contract.is_active:
+        while self._monitoring():
             window_start = self.env.now
             yield self.env.timeout(self.window)
             observation = self._summarise(window_start, self.env.now)

@@ -19,6 +19,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.awareness.events import (
     ACTION_JOIN,
     ACTION_LEAVE,
+    ACTION_SUSPECTED,
     AwarenessBus,
 )
 from repro.concurrency.store import SharedStore
@@ -87,6 +88,26 @@ class Session:
         if self.floor is not None and self.floor.holds(member):
             self.floor.release(member)
         self.awareness.publish(member, self.name, ACTION_LEAVE)
+
+    def handle_suspected_member(self, member: str) -> bool:
+        """React to a failure detector suspecting ``member``.
+
+        The member stays in the session (the suspicion may be wrong —
+        e.g. a partition, after which they should find their seat
+        intact), but a held floor is released immediately so the
+        collective activity is not deadlocked behind a silent holder
+        (§2.3: reliability of the whole over any individual).  Returns
+        True when a floor was actually reclaimed.
+        """
+        if member not in self.members:
+            return False
+        self.counters.incr("suspected")
+        self.awareness.publish(member, self.name, ACTION_SUSPECTED)
+        if self.floor is not None and self.floor.holds(member):
+            self.floor.release(member)
+            self.counters.incr("floor_reclaims")
+            return True
+        return False
 
     def switch_mode(self, time_mode: Optional[str] = None,
                     place_mode: Optional[str] = None) -> Tuple[str, str]:
