@@ -44,6 +44,8 @@ class Link:
         self.env = env
         self.a = a
         self.b = b
+        #: Cached ``"a<->b"`` metric/span label (hot paths format it once).
+        self.label = "{}<->{}".format(a, b)
         self.latency = latency
         self.bandwidth = bandwidth
         self.jitter = jitter
@@ -87,10 +89,16 @@ class Link:
 
     def channel(self, from_node: str) -> PriorityResource:
         """The transmission channel for the given direction."""
-        if from_node not in self._channels:
+        try:
+            return self._channels[from_node]
+        except KeyError:
             raise NetworkError(
                 "{} is not an endpoint of {}".format(from_node, self))
-        return self._channels[from_node]
+
+    # NOTE: Network._carry inlines transmission_delay, drops_packet and
+    # propagation_delay on its per-hop fast path.  If the semantics here
+    # change — especially *when* the RNG is drawn, which replay digests
+    # depend on — update repro.net.network to match.
 
     def transmission_delay(self, wire_bytes: int) -> float:
         """Seconds to clock ``wire_bytes`` onto the link."""

@@ -9,6 +9,7 @@ delay, and may be dropped by the link's loss model.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import NetworkError, RoutingError
@@ -18,11 +19,37 @@ from repro.obs.metrics import MetricsRegistry, get_metrics
 from repro.obs.propagation import extract
 from repro.obs.span import NOOP_SPAN
 from repro.obs.tracer import get_tracer
-from repro.sim import Counter, Environment, Store, Tally
+from repro.sim import Counter, Environment, Process, Store, Tally, Timeout
+from repro.sim.environment import _NORMAL_BASE
+from repro.sim.resources import PriorityRequest
+
+_new_timeout = Timeout.__new__
 
 #: Default packet priority; QoS-reserved flows use lower (better) values.
 BEST_EFFORT_PRIORITY = 10
 RESERVED_PRIORITY = 0
+
+
+class _BoundNetInstruments:
+    """Per-registry bound handles for the per-packet/per-hop instruments.
+
+    A :class:`Network` keeps one of these per registry identity so the
+    keyed lookups (``tuple(sorted(...))`` + ``str()`` per call) happen once
+    per binding instead of once per packet.  Handles stay valid for the
+    registry that created them even if the network later rebinds, so a
+    packet in flight across a registry swap keeps recording where it
+    started — exactly what per-call keyed lookups used to do.
+    """
+
+    __slots__ = ("registry", "sent", "delivered", "latency", "link_bytes")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.sent = registry.bind_counter("net.sent")
+        self.delivered = registry.bind_counter("net.delivered")
+        self.latency = registry.bind_histogram("net.delivery_latency")
+        #: link.label -> bound ``net.bytes`` counter, filled per hop.
+        self.link_bytes: Dict[str, Any] = {}
 
 
 class Host:
@@ -51,8 +78,8 @@ class Host:
     def send(self, dst: str, payload: Any = None, size: int = 0,
              port: int = 0, headers: Optional[Dict[str, Any]] = None) -> Packet:
         """Send a datagram (fire-and-forget); returns the packet."""
-        packet = Packet(self.name, dst, payload=payload, size=size,
-                        port=port, created_at=self.env.now, headers=headers)
+        packet = Packet(self.name, dst, payload, size, port,
+                        self.env._now, headers)
         self.sent += 1
         self.network.transmit(packet)
         return packet
@@ -100,6 +127,9 @@ class Network:
         # resolved per packet so tracing can be enabled mid-run.
         self._tracer = tracer
         self._metrics = metrics
+        # Bound-instrument cache, rebound whenever the resolved registry's
+        # identity changes (use_metrics scoping, mid-run enablement).
+        self._bound: Optional[_BoundNetInstruments] = None
 
     def host(self, name: str) -> Host:
         """Create (or fetch) the host attached to topology node ``name``."""
@@ -111,21 +141,38 @@ class Network:
 
     def transmit(self, packet: Packet) -> None:
         """Launch the per-packet delivery process."""
-        self.counters.incr("sent")
-        self.env.process(self._carry(packet))
+        # Counter.incr inlined here and at the delivery tail (one call
+        # per packet each way).
+        counts = self.counters._counts
+        counts["sent"] = counts.get("sent", 0) + 1
+        # Process(...) directly rather than env.process(...): carriers are
+        # never named actors, so the wrapper's name/tracer handling is
+        # pure per-packet overhead.
+        Process(self.env, self._carry(packet))
 
     def _carry(self, packet: Packet):
+        env = self.env
         tracer = self._tracer if self._tracer is not None else get_tracer()
         metrics = self._metrics if self._metrics is not None \
             else get_metrics()
-        metrics.counter("net.sent").add()
+        bound = self._bound
+        if bound is None or bound.registry is not metrics:
+            bound = self._bound = _BoundNetInstruments(metrics)
+        bound.sent.add()
+        wire_size = packet.wire_size
         # Transit spans parent under whatever context the sender stamped
         # into the packet headers (e.g. an rpc.call span), so one trace
-        # tree covers the request end to end.
-        span = tracer.start_span(
-            "net.transmit", at=self.env.now, parent=extract(packet.headers),
-            src=packet.src, dst=packet.dst, port=packet.port,
-            bytes=packet.wire_size)
+        # tree covers the request end to end.  With the tracer disabled
+        # the span (and the header extraction feeding it) is skipped
+        # outright — NOOP_SPAN behaves identically to what
+        # NoopTracer.start_span would have returned.
+        if tracer.enabled:
+            span = tracer.start_span(
+                "net.transmit", at=env.now, parent=extract(packet.headers),
+                src=packet.src, dst=packet.dst, port=packet.port,
+                bytes=wire_size)
+        else:
+            span = NOOP_SPAN
         try:
             links = self.topology.path(packet.src, packet.dst)
         except RoutingError:
@@ -138,43 +185,105 @@ class Network:
         # its head, every hop of every packet would otherwise still pay
         # the span + label allocation — the dominant trace cost at scale.
         record_hops = span.is_recording
+        # `bound` (not self._bound) below: another packet may rebind the
+        # network to a different registry between our yields, but these
+        # handles stay tied to the registry this packet resolved.
+        link_bytes = bound.link_bytes
+        queue = env._queue
         for link in links:
             hop = tracer.start_span(
-                "net.link", at=self.env.now, parent=span,
-                link="{}<->{}".format(link.a, link.b), node=node,
-                bytes=packet.wire_size) if record_hops else NOOP_SPAN
-            channel = link.channel(node)
-            with channel.request(priority=priority) as claim:
-                yield claim
-                hop.add_event("tx-start", at=self.env.now)
-                yield self.env.timeout(
-                    link.transmission_delay(packet.wire_size))
-            if link.drops_packet():
+                "net.link", at=env._now, parent=span,
+                link=link.label, node=node,
+                bytes=wire_size) if record_hops else None
+            # The channel claim is released explicitly rather than via a
+            # ``with`` block (same release point: right after the
+            # transmission delay, before the loss draw) — the context-
+            # manager protocol costs two extra calls per hop.  The claim
+            # is built directly (PriorityRequest, not .request()) to skip
+            # one wrapper frame per hop.
+            claim = PriorityRequest(link._channels[node], priority)
+            yield claim
+            if hop is not None:
+                hop.add_event("tx-start", at=env._now)
+            # transmission_delay / drops_packet / propagation_delay are
+            # inlined below (three calls per hop dominate the per-hop
+            # cost).  The logic — including when the shared RNG is drawn,
+            # which replay digests depend on — must mirror the Link
+            # methods exactly; link.py carries the matching notice.  The
+            # two hop waits also build their Timeout events in place
+            # (the same fields and queue entry Environment.timeout makes).
+            delay = (wire_size * 8.0) / link.bandwidth
+            wait = _new_timeout(Timeout)
+            wait.env = env
+            wait.callbacks = []
+            wait._value = None
+            wait._exception = None
+            wait._ok = True
+            wait.defused = False
+            wait.delay = delay
+            env._eid += 1
+            heappush(queue, (env._now + delay, _NORMAL_BASE + env._eid,
+                             wait))
+            yield wait
+            # Resource.release inlined: the claim was just granted to this
+            # process, so it is always in users; only a non-empty wait
+            # queue needs the grant/sampling machinery.
+            channel = claim.resource
+            channel.users.remove(claim)
+            if channel.queue:
+                channel._grant_waiters()
+            if not link.up:
+                dropped = True
+            else:
+                probability = link.loss + link._extra_loss
+                dropped = probability > 0 and \
+                    link._rng.random() < min(probability, 1.0)
+            if dropped:
                 link.stats.drops += 1
-                hop.set_status("dropped")
-                hop.finish(at=self.env.now)
+                if hop is not None:
+                    hop.set_status("dropped")
+                    hop.finish(at=env._now)
                 self._drop(packet, "loss" if link.up else "link-down",
                            metrics, span)
                 return
-            yield self.env.timeout(link.propagation_delay())
-            link.stats.packets += 1
-            link.stats.bytes += packet.wire_size
-            metrics.counter("net.bytes",
-                            link="{}<->{}".format(link.a, link.b)) \
-                .add(packet.wire_size)
+            delay = link.latency * link._latency_scale
+            if link.jitter > 0:
+                delay += link._rng.uniform(0, link.jitter)
+            wait = _new_timeout(Timeout)
+            wait.env = env
+            wait.callbacks = []
+            wait._value = None
+            wait._exception = None
+            wait._ok = True
+            wait.defused = False
+            wait.delay = delay
+            env._eid += 1
+            heappush(queue, (env._now + delay, _NORMAL_BASE + env._eid,
+                             wait))
+            yield wait
+            stats = link.stats
+            stats.packets += 1
+            stats.bytes += wire_size
+            bytes_counter = link_bytes.get(link.label)
+            if bytes_counter is None:
+                bytes_counter = link_bytes[link.label] = \
+                    metrics.bind_counter("net.bytes", link=link.label)
+            bytes_counter.add(wire_size)
             packet.hops += 1
-            node = link.other_end(node)
-            hop.finish(at=self.env.now)
+            node = link.b if node == link.a else link.a
+            if hop is not None:
+                hop.finish(at=env._now)
         target = self.hosts.get(packet.dst)
         if target is None:
             self._drop(packet, "no-host", metrics, span)
             return
-        self.counters.incr("delivered")
-        metrics.counter("net.delivered").add()
-        latency = self.env.now - packet.created_at
+        counts = self.counters._counts
+        counts["delivered"] = counts.get("delivered", 0) + 1
+        bound.delivered.add()
+        latency = env._now - packet.created_at
         self.delivery_latency.record(latency)
-        metrics.histogram("net.delivery_latency").record(latency)
-        span.finish(at=self.env.now)
+        bound.latency.record(latency)
+        span.finish(at=env._now)
         target._deliver(packet)
 
     def _drop(self, packet: Packet, reason: str,

@@ -15,6 +15,9 @@ from repro.errors import NetworkError, RoutingError
 from repro.net.link import Link
 from repro.sim import Environment, RandomStreams
 
+#: Route-cache miss sentinel (``None`` is a cached "no route" verdict).
+_MISS: object = object()
+
 
 class Topology:
     """An undirected graph of nodes and links."""
@@ -25,6 +28,11 @@ class Topology:
         self._adjacency: Dict[str, Dict[str, Link]] = {}
         self._paths: Dict[str, Dict[str, Optional[str]]] = {}
         self._dirty = True
+        # Materialised (src, dst) -> [Link, ...] routes; ``None`` records a
+        # known-unreachable pair so partitioned storms don't re-walk.  Both
+        # caches die with the first-hop tables on invalidate_routes().
+        self._route_cache: Dict[Tuple[str, str], Optional[List[Link]]] = {}
+        self._links_cache: Optional[List[Link]] = None
 
     def add_node(self, name: str) -> str:
         """Add a node (idempotent) and return its name."""
@@ -46,6 +54,7 @@ class Topology:
         self._adjacency[a][b] = link
         self._adjacency[b][a] = link
         self._dirty = True
+        self._links_cache = None
         return link
 
     def link_between(self, a: str, b: str) -> Link:
@@ -62,18 +71,26 @@ class Topology:
         return list(self._adjacency[node])
 
     def links(self) -> List[Link]:
-        """All links, each once."""
-        seen = []
-        for node, peers in self._adjacency.items():
-            for peer, link in peers.items():
-                if node < peer:
-                    seen.append(link)
-        return seen
+        """All links, each once.
+
+        The list is cached until the next :meth:`add_link` — callers must
+        treat it as read-only.
+        """
+        cached = self._links_cache
+        if cached is None:
+            cached = []
+            for node, peers in self._adjacency.items():
+                for peer, link in peers.items():
+                    if node < peer:
+                        cached.append(link)
+            self._links_cache = cached
+        return cached
 
     # -- routing -----------------------------------------------------------
 
     def _recompute(self) -> None:
         self._paths = {node: self._dijkstra(node) for node in self.nodes}
+        self._route_cache = {}
         self._dirty = False
 
     def _dijkstra(self, source: str) -> Dict[str, Optional[str]]:
@@ -103,19 +120,32 @@ class Topology:
         self._dirty = True
 
     def path(self, src: str, dst: str) -> List[Link]:
-        """The ordered links from ``src`` to ``dst``."""
+        """The ordered links from ``src`` to ``dst``.
+
+        Routes are materialised once per (src, dst) pair and served from a
+        cache until :meth:`invalidate_routes`; callers must treat the list
+        as read-only.  Unreachable pairs are cached too, so a partition
+        costs one walk per pair rather than one per packet.
+        """
+        if self._dirty:
+            self._recompute()
+        cached = self._route_cache.get((src, dst), _MISS)
+        if cached is not _MISS:
+            if cached is None:
+                raise RoutingError("no route {}->{}".format(src, dst))
+            return cached
         if src not in self._adjacency or dst not in self._adjacency:
             raise RoutingError("unknown endpoint {}->{}".format(src, dst))
         if src == dst:
-            return []
-        if self._dirty:
-            self._recompute()
+            self._route_cache[(src, dst)] = []
+            return self._route_cache[(src, dst)]
         links: List[Link] = []
         node = src
         guard = len(self.nodes) + 1
         while node != dst:
             hop = self._paths[node].get(dst)
             if hop is None:
+                self._route_cache[(src, dst)] = None
                 raise RoutingError("no route {}->{}".format(src, dst))
             links.append(self._adjacency[node][hop])
             node = hop
@@ -123,6 +153,7 @@ class Topology:
             if guard <= 0:
                 raise RoutingError(
                     "routing loop computing {}->{}".format(src, dst))
+        self._route_cache[(src, dst)] = links
         return links
 
     def path_latency(self, src: str, dst: str) -> float:

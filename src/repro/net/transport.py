@@ -21,7 +21,7 @@ from repro.faults.policies import (
 )
 from repro.net.network import Host
 from repro.net.packet import Packet
-from repro.obs.metrics import get_metrics
+from repro.obs.metrics import BoundCounterCache
 from repro.obs.propagation import extract, inject
 from repro.obs.tracer import get_tracer
 from repro.sim import Event, Store
@@ -65,6 +65,10 @@ class ReliableChannel:
         #: Sends abandoned after exhausting every retry
         #: (``chan.gave_up`` in the registry).
         self.gave_up = 0
+        self._retry_counters = BoundCounterCache(
+            "chan.retries", "dst", node=host.name)
+        self._gave_up_counters = BoundCounterCache(
+            "chan.gave_up", "dst", node=host.name)
         host.on_packet(port, self._on_packet)
 
     def send(self, dst: str, payload: Any = None, size: int = 0,
@@ -104,8 +108,7 @@ class ReliableChannel:
             if attempts > 0:
                 self.retransmissions += 1
                 self.retries += 1
-                get_metrics().counter("chan.retries",
-                                      node=self.host.name, dst=dst).add()
+                self._retry_counters.get(dst).add()
                 span.add_event("retransmit", at=self.env.now,
                                attempt=attempts)
             # The ack wait for attempt N is the backoff delay before
@@ -121,8 +124,7 @@ class ReliableChannel:
             attempts += 1
         self._pending_acks.pop((dst, seq), None)
         self.gave_up += 1
-        get_metrics().counter("chan.gave_up",
-                              node=self.host.name, dst=dst).add()
+        self._gave_up_counters.get(dst).add()
         span.set_status("error")
         span.set_attribute("error", "no-ack")
         span.finish(at=self.env.now)
@@ -193,6 +195,8 @@ class RpcEndpoint:
         self._calls: Dict[int, Event] = {}
         self._call_ids = itertools.count(1)
         self.calls_served = 0
+        self._retry_counters = BoundCounterCache(
+            "rpc.retries", "dst", node=host.name)
         host.on_packet(port, self._on_packet)
 
     def register(self, method: str, handler: Callable) -> None:
@@ -280,8 +284,7 @@ class RpcEndpoint:
                     "call {} to {} timed out after {:g}s".format(
                         method, dst, timeout)))
                 return
-            get_metrics().counter("rpc.retries",
-                                  node=self.host.name, dst=dst).add()
+            self._retry_counters.get(dst).add()
             span.add_event("rpc-retry", at=self.env.now,
                            attempt=attempt, delay=delay)
             yield self.env.timeout(delay)

@@ -16,7 +16,7 @@ from repro.faults.policies import CircuitOpenError, FaultPolicies
 from repro.net.network import Host, Network
 from repro.net.transport import RemoteException, RpcEndpoint, RpcError
 from repro.node.objects import Capsule, Cluster, EngineeringObject
-from repro.obs.metrics import get_metrics
+from repro.obs.metrics import BoundCounterCache, get_metrics
 from repro.obs.tracer import get_tracer
 from repro.sim import Event
 
@@ -57,6 +57,12 @@ class Nucleus:
         self.policies = policies
         self.capsules: Dict[str, Capsule] = {}
         self._location_cache: Dict[str, str] = {}
+        # Bound metric handles for the per-invocation instruments;
+        # rebound whenever the process-default registry changes identity.
+        self._invocation_counters = BoundCounterCache(
+            "node.invocations", "kind", node=host.name)
+        self._bound_registry = None
+        self._rpc_latency = None
         self.rpc = RpcEndpoint(host, port=RPC_PORT, policies=policies)
         self.rpc.register("invoke", self._handle_invoke)
         self.rpc.register("migrate_in", self._handle_migrate_in)
@@ -128,8 +134,7 @@ class Nucleus:
         local = self.find_object(oid)
         if local is not None:
             span.set_attribute("target", "local")
-            metrics.counter("node.invocations", node=self.node_name,
-                            kind="local").add()
+            self._invocation_counters.get("local").add()
             try:
                 result = local.invoke_local(self.node_name, op, args)
                 if hasattr(result, "send") and hasattr(result, "throw"):
@@ -143,8 +148,7 @@ class Nucleus:
                           else NodeError(str(error)))
             return
         span.set_attribute("target", "remote")
-        metrics.counter("node.invocations", node=self.node_name,
-                        kind="remote").add()
+        self._invocation_counters.get("remote").add()
         attempts = 0
         while attempts < 3:
             location = self._location_cache.get(oid)
@@ -186,8 +190,11 @@ class Nucleus:
                 done.fail(NodeError(str(error)))
                 return
             span.finish(at=self.env.now)
-            metrics.histogram("rpc.latency", node=self.node_name) \
-                .record(self.env.now - start)
+            if metrics is not self._bound_registry:
+                self._bound_registry = metrics
+                self._rpc_latency = metrics.bind_histogram(
+                    "rpc.latency", node=self.node_name)
+            self._rpc_latency.record(self.env.now - start)
             done.succeed(result)
             return
         span.set_status("error")

@@ -11,7 +11,9 @@ substrate.  This package provides it for every layer of the middleware:
   :func:`enable_tracing` to collect.
 * **Metrics** — :class:`MetricsRegistry` unifies counters, histograms and
   gauges behind named, labelled instruments with one :meth:`snapshot()
-  <MetricsRegistry.snapshot>`.
+  <MetricsRegistry.snapshot>`; ``bind_counter``/``bind_histogram``/
+  ``bind_gauge`` return the instrument itself for hot paths, and
+  :class:`NullRegistry` makes metrics-off runs pay ~zero.
 * **Sampling** — :class:`Sampler` makes a deterministic keep/drop
   decision per trace (same seed + rate ⇒ same traces, run after run);
   the decision rides in packet headers so sampled traces stay complete
@@ -49,6 +51,7 @@ from repro.obs.metrics import (
     GaugeInstrument,
     HistogramInstrument,
     MetricsRegistry,
+    NullRegistry,
     get_metrics,
     set_metrics,
     use_metrics,
@@ -77,6 +80,7 @@ __all__ = [
     "NOOP_TRACER",
     "NoopSpan",
     "NoopTracer",
+    "NullRegistry",
     "Sampler",
     "Span",
     "SpanContext",

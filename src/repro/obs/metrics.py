@@ -57,16 +57,23 @@ class CounterInstrument:
 class HistogramInstrument:
     """A distribution of observations (backed by a Tally)."""
 
-    __slots__ = ("name", "labels", "tally")
+    __slots__ = ("name", "labels", "tally", "_below")
 
     def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...]
                  ) -> None:
         self.name = name
         self.labels = dict(labels)
         self.tally = Tally(name)
+        # threshold -> running count of observations <= threshold; a
+        # threshold registers on its first count_below() query, so the SLO
+        # layer's repeated window evals are O(1) instead of a full rescan.
+        self._below: Dict[float, int] = {}
 
     def record(self, value: float) -> None:
         self.tally.record(value)
+        for threshold in self._below:
+            if value <= threshold:
+                self._below[threshold] += 1
 
     @property
     def count(self) -> int:
@@ -77,8 +84,17 @@ class HistogramInstrument:
         return self.tally.mean
 
     def count_below(self, threshold: float) -> int:
-        """Observations ``<= threshold`` (the SLO "good event" count)."""
-        return sum(1 for value in self.tally.values if value <= threshold)
+        """Observations ``<= threshold`` (the SLO "good event" count).
+
+        The first query for a threshold scans the recorded values once and
+        registers it; later records keep the count incrementally.
+        """
+        cached = self._below.get(threshold)
+        if cached is None:
+            cached = sum(1 for value in self.tally.values
+                         if value <= threshold)
+            self._below[threshold] = cached
+        return cached
 
     def summary(self) -> Dict[str, float]:
         return self.tally.summary()
@@ -141,6 +157,24 @@ class MetricsRegistry:
         if instrument is None:
             instrument = self._gauges[key] = GaugeInstrument(name, key[1])
         return instrument
+
+    # -- bound handles (the hot-path API) ----------------------------------
+    #
+    # ``counter()`` re-keys (tuple(sorted(...)) + str()) on every call; the
+    # bind_* methods are the documented way to pay that once and keep the
+    # instrument, e.g. ``sent = registry.bind_counter("net.sent")`` at
+    # construction, ``sent.add()`` per packet.  They return the same cached
+    # instrument the keyed API would, so reads via ``counter()``/queries
+    # see every bound update.
+
+    def bind_counter(self, name: str, **labels: Any) -> CounterInstrument:
+        return self.counter(name, **labels)
+
+    def bind_histogram(self, name: str, **labels: Any) -> HistogramInstrument:
+        return self.histogram(name, **labels)
+
+    def bind_gauge(self, name: str, **labels: Any) -> GaugeInstrument:
+        return self.gauge(name, **labels)
 
     # -- querying ----------------------------------------------------------
 
@@ -214,6 +248,85 @@ class MetricsRegistry:
             len(self._counters), len(self._histograms), len(self._gauges))
 
 
+class _NullCounter:
+    """Shared no-op counter; reads as permanently zero."""
+
+    __slots__ = ()
+    name = ""
+    labels: Dict[str, str] = {}
+    value = 0
+
+    def add(self, amount: int = 1) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "<NullCounter>"
+
+
+class _NullHistogram:
+    """Shared no-op histogram; reads as permanently empty."""
+
+    __slots__ = ()
+    name = ""
+    labels: Dict[str, str] = {}
+    count = 0
+    mean = 0.0
+
+    def record(self, value: float) -> None:
+        pass
+
+    def count_below(self, threshold: float) -> int:
+        return 0
+
+    def summary(self) -> Dict[str, float]:
+        return {"count": 0}
+
+    def __repr__(self) -> str:
+        return "<NullHistogram>"
+
+
+class _NullGauge:
+    """Shared no-op gauge; reads as permanently zero."""
+
+    __slots__ = ()
+    name = ""
+    labels: Dict[str, str] = {}
+    last = 0.0
+
+    def set(self, value: float, at: float) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "<NullGauge>"
+
+
+NULL_COUNTER = _NullCounter()
+NULL_HISTOGRAM = _NullHistogram()
+NULL_GAUGE = _NullGauge()
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry whose instruments are shared no-op singletons.
+
+    Install it (``set_metrics(NullRegistry())`` or ``use_metrics``) to make
+    every instrumentation site pay ~zero: no keying, no instrument
+    creation, no storage.  All queries read as empty/zero, and gauges
+    ignore their timestamps, so a NullRegistry can be shared across runs.
+    """
+
+    def counter(self, name: str, **labels: Any) -> CounterInstrument:
+        return NULL_COUNTER  # type: ignore[return-value]
+
+    def histogram(self, name: str, **labels: Any) -> HistogramInstrument:
+        return NULL_HISTOGRAM  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: Any) -> GaugeInstrument:
+        return NULL_GAUGE  # type: ignore[return-value]
+
+    def __repr__(self) -> str:
+        return "<NullRegistry>"
+
+
 _metrics = MetricsRegistry()
 
 
@@ -229,6 +342,43 @@ def set_metrics(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
     previous = _metrics
     _metrics = registry if registry is not None else MetricsRegistry()
     return previous
+
+
+class BoundCounterCache:
+    """Bound counters for one instrument whose last label varies.
+
+    For hot sites like per-destination retry counters: the keyed lookup
+    (``registry.counter(name, node=..., dst=...)``) is paid once per
+    (registry, label value) instead of per call.  The cache tracks the
+    process-default registry by identity, so ``use_metrics`` scoping and
+    mid-run swaps rebind transparently::
+
+        self._retries = BoundCounterCache("chan.retries", "dst", node=name)
+        ...
+        self._retries.get(dst).add()
+    """
+
+    __slots__ = ("name", "label", "static", "_registry", "_bound")
+
+    def __init__(self, name: str, label: str, **static: Any) -> None:
+        self.name = name
+        self.label = label
+        self.static = static
+        self._registry: Optional[MetricsRegistry] = None
+        self._bound: Dict[str, CounterInstrument] = {}
+
+    def get(self, value: str) -> CounterInstrument:
+        registry = _metrics
+        if registry is not self._registry:
+            self._registry = registry
+            self._bound = {}
+        counter = self._bound.get(value)
+        if counter is None:
+            labels = dict(self.static)
+            labels[self.label] = value
+            counter = self._bound[value] = registry.bind_counter(
+                self.name, **labels)
+        return counter
 
 
 @contextlib.contextmanager

@@ -228,6 +228,83 @@ class SpanProfile:
         return "<SpanProfile spans={}>".format(len(self._spans))
 
 
+# -- folded-dump diffing ---------------------------------------------------
+
+
+def parse_folded(path: str) -> Dict[str, int]:
+    """Read a folded-stacks dump back into ``{stack: microseconds}``.
+
+    Accepts exactly what :meth:`SpanProfile.dump_folded` writes (and what
+    flamegraph.pl consumes): one ``a;b;leaf <integer-µs>`` entry per
+    line.  Blank lines are ignored; anything else raises ``ValueError``
+    so a truncated dump fails loudly instead of diffing as zeros.
+    """
+    weights: Dict[str, int] = {}
+    with open(path) as handle:
+        for number, line in enumerate(handle, 1):
+            line = line.rstrip("\n")
+            if not line.strip():
+                continue
+            stack, _, value = line.rpartition(" ")
+            if not stack or not value.lstrip("-").isdigit():
+                raise ValueError(
+                    "{}:{}: not a folded-stack line: {!r}".format(
+                        path, number, line))
+            weights[stack] = weights.get(stack, 0) + int(value)
+    return weights
+
+
+def diff_folded(old: Dict[str, int], new: Dict[str, int]
+                ) -> Dict[str, Dict[str, int]]:
+    """Per-leaf-operation sim-time deltas between two folded dumps.
+
+    Stacks are grouped by their leaf span name (the operation that
+    actually accrued the exclusive time), so the diff survives ancestry
+    changes like a span gaining a parent.  Returns
+    ``{operation: {"old": µs, "new": µs, "delta": µs}}`` for every
+    operation present in either dump.
+    """
+    def by_leaf(weights: Dict[str, int]) -> Dict[str, int]:
+        leaves: Dict[str, int] = {}
+        for stack, value in weights.items():
+            leaf = stack.rsplit(";", 1)[-1]
+            leaves[leaf] = leaves.get(leaf, 0) + value
+        return leaves
+
+    old_leaves, new_leaves = by_leaf(old), by_leaf(new)
+    return {
+        leaf: {
+            "old": old_leaves.get(leaf, 0),
+            "new": new_leaves.get(leaf, 0),
+            "delta": new_leaves.get(leaf, 0) - old_leaves.get(leaf, 0),
+        }
+        for leaf in sorted(set(old_leaves) | set(new_leaves))
+    }
+
+
+def render_diff(rows: Dict[str, Dict[str, int]], out=None) -> None:
+    """Print a folded-dump diff, biggest |delta| first.
+
+    An all-zero delta column is called out explicitly: identical
+    simulated-time profiles are the expected proof that a performance
+    change did not alter behaviour.
+    """
+    out = out if out is not None else sys.stdout
+    ordered = sorted(rows.items(),
+                     key=lambda item: (-abs(item[1]["delta"]), item[0]))
+    _table("simulated time by operation (old vs new)",
+           ["operation", "old (s)", "new (s)", "delta (s)"],
+           [(leaf, row["old"] / MICROSECONDS, row["new"] / MICROSECONDS,
+             row["delta"] / MICROSECONDS) for leaf, row in ordered], out)
+    total = sum(row["delta"] for row in rows.values())
+    if rows and all(row["delta"] == 0 for row in rows.values()):
+        out.write("\nno simulated-time drift: the two runs spent sim time "
+                  "identically (behaviour preserved)\n")
+    else:
+        out.write("\ntotal drift: {:+.6g}s simulated\n".format(
+            total / MICROSECONDS))
+
+
 # -- CLI -------------------------------------------------------------------
 
 
@@ -283,9 +360,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="python -m repro.obs.profile",
         description="Profile simulated time for a registered workload "
                     "(see repro.analysis.workloads) or a JSONL dump.")
-    parser.add_argument("workload",
+    parser.add_argument("workload", nargs="?",
                         help="workload name (see --list), or a path to a "
-                             "dump_jsonl() file when --from-dump is given")
+                             "dump_jsonl() file when --from-dump is given; "
+                             "not used with --diff")
     parser.add_argument("--seed", type=int, default=31,
                         help="experiment seed (default 31)")
     parser.add_argument("--top", type=int, default=None,
@@ -296,9 +374,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--from-dump", action="store_true",
                         help="treat the positional argument as a JSONL "
                              "dump instead of a workload name")
+    parser.add_argument("--diff", nargs=2, metavar=("OLD", "NEW"),
+                        help="compare two folded dumps (--folded output) "
+                             "and print per-operation sim-time deltas; "
+                             "an all-zero diff proves two runs spent "
+                             "simulated time identically")
     parser.add_argument("--list", action="store_true",
                         help="list known workloads and exit")
     options = parser.parse_args(argv)
+
+    if options.diff:
+        old_path, new_path = options.diff
+        try:
+            old, new = parse_folded(old_path), parse_folded(new_path)
+        except (OSError, ValueError) as exc:
+            print("error: {}".format(exc), file=sys.stderr)
+            return 2
+        render_diff(diff_folded(old, new))
+        return 0
+
+    if options.workload is None and not options.list:
+        parser.error("a workload (or --diff OLD NEW, or --list) is "
+                     "required")
 
     # Imported here: the workload registry pulls in most of the library,
     # which --from-dump and --list users should not have to pay for.

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -16,6 +16,17 @@ from repro.sim.events import (
 )
 
 Infinity = float("inf")
+
+# Pre-bound allocator for Environment.timeout's fast path.
+_new_timeout = Timeout.__new__
+
+# Queue entries are (time, key, event) where key packs (priority, eid)
+# into one int: priority in the high bits, the schedule-order tiebreaker
+# below.  Ordering is identical to the former (time, priority, eid, ...)
+# tuples — priority dominates, then insertion order — but entries are a
+# quarter smaller and heap sifts compare one int instead of two.
+_PRIORITY_SHIFT = 48
+_NORMAL_BASE = NORMAL << _PRIORITY_SHIFT
 
 
 class EmptySchedule(SimulationError):
@@ -36,17 +47,28 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._queue: List[Tuple[float, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
-        # Event-loop counters: plain ints so the hot path stays cheap.
-        self.events_scheduled = 0
+        # Event-loop counter: a plain int so the hot path stays cheap.
+        # (events_scheduled is derived from the schedule-order tiebreaker
+        # ``_eid``, which advances in lockstep with it by construction.)
         self.events_processed = 0
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def events_scheduled(self) -> int:
+        """Events ever queued.
+
+        The schedule-order tiebreaker ``_eid`` increments exactly once
+        per queued event, so it doubles as this counter — one less
+        attribute store on every schedule.
+        """
+        return self._eid
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -60,8 +82,27 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that fires ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
+        """Create an event that fires ``delay`` seconds from now.
+
+        This is the kernel's hottest allocation site (one per packet hop,
+        think-gap and retry timer), so the event is built field-by-field
+        and queued inline — observably identical to ``Timeout(...)``,
+        including the scheduling counters the replay digests cover.
+        """
+        if delay < 0:
+            raise SimulationError("negative delay: {!r}".format(delay))
+        event = _new_timeout(Timeout)
+        event.env = self
+        event.callbacks = []
+        event._value = value
+        event._exception = None
+        event._ok = True
+        event.defused = False
+        event.delay = delay
+        self._eid += 1
+        heappush(self._queue,
+                 (self._now + delay, _NORMAL_BASE + self._eid, event))
+        return event
 
     def process(self, generator, name: Optional[str] = None) -> Process:
         """Start a new process from a generator.
@@ -100,9 +141,9 @@ class Environment:
                  delay: float = 0.0) -> None:
         """Queue ``event`` to fire ``delay`` seconds from now."""
         self._eid += 1
-        self.events_scheduled += 1
-        heapq.heappush(self._queue,
-                       (self._now + delay, priority, self._eid, event))
+        heappush(self._queue,
+                 (self._now + delay,
+                  (priority << _PRIORITY_SHIFT) + self._eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or infinity if none."""
@@ -113,7 +154,7 @@ class Environment:
     def step(self) -> None:
         """Process the single next event, advancing the clock to it."""
         try:
-            self._now, _, _, event = heapq.heappop(self._queue)
+            self._now, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule("no more events")
         self.events_processed += 1
@@ -148,9 +189,30 @@ class Environment:
                 # The event has already been processed; nothing to run.
                 return until_event.value if until_event.ok else None
             until_event.callbacks.append(_stop_simulation)
+        # The drain loop is step() inlined: at hundreds of thousands of
+        # events per run the per-call overhead of dispatching to step()
+        # is itself a measurable slice of wall time.  Behaviour
+        # (counters, exception escalation, StopSimulation) is identical.
+        queue = self._queue
+        pop = heappop
+        # The processed count is batched in a local and flushed once on
+        # the way out (including via exceptions): nothing observes
+        # ``events_processed`` while run() is on the stack — stats() is
+        # only read between runs — and the attribute store per event is
+        # measurable at storm scale.
+        processed = 0
         try:
             while True:
-                self.step()
+                try:
+                    self._now, _, event = pop(queue)
+                except IndexError:
+                    raise EmptySchedule("no more events")
+                processed += 1
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if event._ok is False and not event.defused:
+                    raise event._exception
         except StopSimulation as stop:
             return stop.args[0].value if stop.args[0]._ok else None
         except EmptySchedule:
@@ -158,6 +220,8 @@ class Environment:
                 raise SimulationError(
                     "simulation ran out of events before 'until' fired")
             return None
+        finally:
+            self.events_processed += processed
 
     # -- convenience -------------------------------------------------------
 

@@ -28,6 +28,9 @@ class Event:
     Processes wait on events by yielding them.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_exception", "_ok",
+                 "defused")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
@@ -103,6 +106,8 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float,
                  value: Any = None) -> None:
         if delay < 0:
@@ -117,6 +122,8 @@ class Timeout(Event):
 class Initialize(Event):
     """Internal event that starts a process when it is created."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
         self.callbacks.append(process._resume)
@@ -126,6 +133,8 @@ class Initialize(Event):
 
 class Interruption(Event):
     """Internal event delivering an :class:`Interrupt` into a process."""
+
+    __slots__ = ("process",)
 
     def __init__(self, process: "Process", cause: Any) -> None:
         super().__init__(process.env)
@@ -169,13 +178,33 @@ class Interrupt(Exception):
 class Process(Event):
     """A running generator coroutine; also an event that fires on return."""
 
+    __slots__ = ("_generator", "_target", "span")
+
     def __init__(self, env: "Environment", generator) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise SimulationError(
                 "process requires a generator, got {!r}".format(generator))
-        super().__init__(env)
+        # Event.__init__ for both the process and its Initialize event is
+        # inlined: process creation is per-packet in the network layer.
+        self.env = env
+        self.callbacks = []
+        self._value = None
+        self._exception = None
+        self._ok = None
+        self.defused = False
         self._generator = generator
-        self._target: Optional[Event] = Initialize(env, self)
+        #: ``actor.run`` span when the process was named under a recording
+        #: tracer (set by :meth:`Environment.process`); ``None`` otherwise.
+        self.span = None
+        init = Initialize.__new__(Initialize)
+        init.env = env
+        init.callbacks = [self._resume]
+        init._value = None
+        init._exception = None
+        init._ok = True
+        init.defused = False
+        env.schedule(init, priority=URGENT)
+        self._target: Optional[Event] = init
 
     @property
     def is_alive(self) -> bool:
@@ -193,34 +222,36 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the fired event's value."""
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
+        generator = self._generator
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
                     event.defused = True
-                    next_event = self._generator.throw(event._exception)
+                    next_event = generator.throw(event._exception)
             except StopIteration as stop:
                 self._ok = True
                 self._value = getattr(stop, "value", None)
-                self.env.schedule(self)
+                env.schedule(self)
                 break
             except BaseException as error:
                 self._ok = False
                 self._exception = error
                 self.defused = False
-                self.env.schedule(self)
+                env.schedule(self)
                 break
 
             if not isinstance(next_event, Event):
                 error = SimulationError(
                     "process {!r} yielded a non-event: {!r}".format(
                         self.name, next_event))
-                self._generator.close()
+                generator.close()
                 self._ok = False
                 self._exception = error
-                self.env.schedule(self)
+                env.schedule(self)
                 break
 
             if next_event.callbacks is not None:
@@ -233,11 +264,13 @@ class Process(Event):
             # its stored value / exception.
             event = next_event
 
-        self.env._active_process = None
+        env._active_process = None
 
 
 class Condition(Event):
     """An event that fires when a predicate over child events is met."""
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(self, env: "Environment", evaluate, events) -> None:
         super().__init__(env)
@@ -284,12 +317,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Fires when *all* of the given events have fired."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events) -> None:
         super().__init__(env, Condition.all_events, events)
 
 
 class AnyOf(Condition):
     """Fires when *any* of the given events has fired."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events) -> None:
         super().__init__(env, Condition.any_events, events)

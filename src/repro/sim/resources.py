@@ -15,7 +15,7 @@ from typing import Any, Callable, List, Optional
 
 from repro.errors import SimulationError
 from repro.sim.events import Event
-from repro.sim.environment import Environment
+from repro.sim.environment import Environment, _NORMAL_BASE
 
 
 def _metrics():
@@ -28,10 +28,20 @@ def _metrics():
 class Request(Event):
     """A pending claim on a :class:`Resource`; fires when granted."""
 
+    __slots__ = ("resource", "requested_at", "usage_since")
+
     def __init__(self, resource: "Resource") -> None:
-        super().__init__(resource.env)
+        # Event.__init__ inlined: one request per packet hop makes this
+        # the busiest event constructor in the simulator.
+        env = resource.env
+        self.env = env
+        self.callbacks = []
+        self._value = None
+        self._exception = None
+        self._ok = None
+        self.defused = False
         self.resource = resource
-        self.requested_at = resource.env.now
+        self.requested_at = env._now
         self.usage_since: Optional[float] = None
         resource._do_request(self)
 
@@ -77,11 +87,15 @@ class Resource:
 
     def release(self, request: Request) -> None:
         """Return the resource (or withdraw a queued request)."""
-        if request in self.users:
+        # Held claims are the overwhelmingly common case (one per packet
+        # hop), so try the remove directly instead of scanning with ``in``
+        # first; the queued/unknown cases fall through unchanged.
+        try:
             self.users.remove(request)
-        elif request in self.queue:
-            self.queue.remove(request)
-            self._sample_queue()
+        except ValueError:
+            if request in self.queue:
+                self.queue.remove(request)
+                self._sample_queue()
         self._grant_waiters()
 
     def _do_request(self, request: Request) -> None:
@@ -93,11 +107,19 @@ class Resource:
 
     def _grant(self, request: Request) -> None:
         self.users.append(request)
-        request.usage_since = self.env.now
+        env = self.env
+        request.usage_since = env._now
         if self.name is not None:
             _metrics().histogram("resource.wait", resource=self.name) \
-                .record(self.env.now - request.requested_at)
-        request.succeed(request)
+                .record(env._now - request.requested_at)
+        # request.succeed(request) inlined (one grant per packet hop);
+        # a double trigger still raises, via schedule-time state instead.
+        if request._ok is not None:
+            raise SimulationError("event already triggered")
+        request._ok = True
+        request._value = request
+        env._eid += 1
+        heappush(env._queue, (env._now, _NORMAL_BASE + env._eid, request))
 
     def _grant_waiters(self) -> None:
         granted = False
@@ -126,11 +148,40 @@ class PriorityRequest(Request):
     process cannot perturb each other.
     """
 
+    __slots__ = ("priority", "time", "seq")
+
     def __init__(self, resource: "PriorityResource", priority: int) -> None:
+        # Request.__init__ (and the Event fields) inlined: one priority
+        # claim per packet hop makes the super() chain measurable.
+        env = resource.env
+        self.env = env
+        self.callbacks = []
+        self._value = None
+        self._exception = None
+        self._ok = None
+        self.defused = False
+        self.resource = resource
+        self.requested_at = env._now
+        self.usage_since = None
         self.priority = priority
-        self.time = resource.env.now
+        self.time = env._now
         self.seq = next(resource._ticket)
-        super().__init__(resource)
+        # _do_request's grant branch inlined for the uncontended case (a
+        # fresh request can never be already-triggered, so _grant's
+        # double-trigger guard is vacuous here).  Contended requests take
+        # the regular queueing path.
+        if len(resource.users) < resource.capacity:
+            resource.users.append(self)
+            self.usage_since = env._now
+            if resource.name is not None:
+                _metrics().histogram("resource.wait",
+                                     resource=resource.name).record(0.0)
+            self._ok = True
+            self._value = self
+            env._eid += 1
+            heappush(env._queue, (env._now, _NORMAL_BASE + env._eid, self))
+        else:
+            resource._do_request(self)
 
     def __lt__(self, other: "PriorityRequest") -> bool:
         return (self.priority, self.time, self.seq) < \
@@ -162,12 +213,21 @@ class PriorityResource(Resource):
 class StoreGet(Event):
     """A pending take from a :class:`Store`; fires with the item."""
 
+    __slots__ = ("filter", "store", "requested_at")
+
     def __init__(self, store: "Store",
                  filter: Optional[Callable[[Any], bool]] = None) -> None:
-        super().__init__(store.env)
+        # Event.__init__ inlined: one take per received packet.
+        env = store.env
+        self.env = env
+        self.callbacks = []
+        self._value = None
+        self._exception = None
+        self._ok = None
+        self.defused = False
         self.filter = filter
         self.store = store
-        self.requested_at = store.env.now
+        self.requested_at = env._now
         store._getters.append(self)
         store._dispatch()
 
@@ -180,8 +240,16 @@ class StoreGet(Event):
 class StorePut(Event):
     """A pending put into a :class:`Store`; fires when accepted."""
 
+    __slots__ = ("item", "store")
+
     def __init__(self, store: "Store", item: Any) -> None:
-        super().__init__(store.env)
+        # Event.__init__ inlined: one put per delivered packet.
+        self.env = store.env
+        self.callbacks = []
+        self._value = None
+        self._exception = None
+        self._ok = None
+        self.defused = False
         self.item = item
         self.store = store
         store._putters.append(self)
@@ -219,16 +287,24 @@ class Store:
         return StoreGet(self, filter)
 
     def _dispatch(self) -> None:
+        env = self.env
         progressed = True
         while progressed:
             progressed = False
-            # Move accepted puts into the buffer.
+            # Move accepted puts into the buffer.  succeed() is inlined
+            # for both puts and gets (one of each per delivered message):
+            # a put/get being dispatched is by construction untriggered.
             while self._putters and len(self.items) < self.capacity:
                 put = self._putters.pop(0)
                 self.items.append(put.item)
-                put.succeed()
+                put._ok = True
+                env._eid += 1
+                heappush(env._queue,
+                         (env._now, _NORMAL_BASE + env._eid, put))
                 progressed = True
             # Satisfy getters from the buffer.
+            if not self._getters:
+                continue
             for getter in list(self._getters):
                 item = self._find(getter)
                 if item is _NOTHING:
@@ -237,8 +313,12 @@ class Store:
                 self._getters.remove(getter)
                 if self.name is not None:
                     _metrics().histogram("store.wait", store=self.name) \
-                        .record(self.env.now - getter.requested_at)
-                getter.succeed(item)
+                        .record(env._now - getter.requested_at)
+                getter._ok = True
+                getter._value = item
+                env._eid += 1
+                heappush(env._queue,
+                         (env._now, _NORMAL_BASE + env._eid, getter))
                 progressed = True
         if self.name is not None:
             _metrics().gauge("store.depth", store=self.name) \
@@ -261,6 +341,16 @@ class _Nothing:
 _NOTHING = _Nothing()
 
 
+class _Amount(Event):
+    """A pending :class:`Container` put/get carrying its quantity."""
+
+    __slots__ = ("amount",)
+
+    def __init__(self, env: Environment, amount: float) -> None:
+        super().__init__(env)
+        self.amount = amount
+
+
 class Container:
     """A continuous quantity with blocking put/get (e.g. buffer space)."""
 
@@ -273,8 +363,8 @@ class Container:
         self.env = env
         self.capacity = capacity
         self._level = float(init)
-        self._getters: List[Event] = []
-        self._putters: List[Event] = []
+        self._getters: List[_Amount] = []
+        self._putters: List[_Amount] = []
 
     @property
     def level(self) -> float:
@@ -285,8 +375,7 @@ class Container:
         """Add ``amount``; fires once it fits under capacity."""
         if amount <= 0:
             raise SimulationError("amount must be positive")
-        event = Event(self.env)
-        event.amount = amount  # type: ignore[attr-defined]
+        event = _Amount(self.env, amount)
         self._putters.append(event)
         self._dispatch()
         return event
@@ -295,8 +384,7 @@ class Container:
         """Remove ``amount``; fires once that much is available."""
         if amount <= 0:
             raise SimulationError("amount must be positive")
-        event = Event(self.env)
-        event.amount = amount  # type: ignore[attr-defined]
+        event = _Amount(self.env, amount)
         self._getters.append(event)
         self._dispatch()
         return event
@@ -307,15 +395,15 @@ class Container:
             progressed = False
             if self._putters:
                 put = self._putters[0]
-                if self._level + put.amount <= self.capacity:  # type: ignore[attr-defined]
+                if self._level + put.amount <= self.capacity:
                     self._putters.pop(0)
-                    self._level += put.amount  # type: ignore[attr-defined]
+                    self._level += put.amount
                     put.succeed()
                     progressed = True
             if self._getters:
                 get = self._getters[0]
-                if self._level >= get.amount:  # type: ignore[attr-defined]
+                if self._level >= get.amount:
                     self._getters.pop(0)
-                    self._level -= get.amount  # type: ignore[attr-defined]
+                    self._level -= get.amount
                     get.succeed()
                     progressed = True

@@ -73,3 +73,14 @@ def test_cli_unknown_workload(capsys):
 def test_cli_list(capsys):
     assert main(["--list"]) == 0
     assert "locks-soft" in capsys.readouterr().out
+
+
+def test_every_registered_workload_is_digest_stable():
+    # The hot-path optimisations (route caching, bound instruments, kernel
+    # fast paths) must be invisible to replay: running any registered
+    # workload twice with the same seed digests identically.
+    for name in sorted(WORKLOADS):
+        first = trace_digest(run_isolated(name, seed=31))
+        second = trace_digest(run_isolated(name, seed=31))
+        assert first == second, "workload {} is not replay-stable".format(
+            name)

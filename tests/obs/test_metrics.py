@@ -88,3 +88,79 @@ def test_use_metrics_scopes_the_default():
         obs.get_metrics().counter("in.scope").add()
     assert obs.get_metrics() is outer
     assert scoped.counter("in.scope").value == 1
+
+
+def test_bound_instruments_are_the_keyed_instruments(registry):
+    bound = registry.bind_counter("net.sent", node="n1")
+    assert bound is registry.counter("net.sent", node="n1")
+    bound.add(3)
+    assert registry.counter("net.sent", node="n1").value == 3
+    hist = registry.bind_histogram("rpc.latency", node="n1")
+    assert hist is registry.histogram("rpc.latency", node="n1")
+    hist.record(0.5)
+    assert registry.histogram("rpc.latency", node="n1").count == 1
+    gauge = registry.bind_gauge("depth", node="n1")
+    assert gauge is registry.gauge("depth", node="n1")
+
+
+def test_bound_counter_cache_binds_once_per_label_value():
+    from repro.obs.metrics import BoundCounterCache
+    with obs.use_metrics(MetricsRegistry()) as registry:
+        cache = BoundCounterCache("chan.retries", "dst", node="n1")
+        first = cache.get("n2")
+        assert cache.get("n2") is first
+        first.add()
+        cache.get("n3").add(2)
+        assert registry.counter("chan.retries", node="n1",
+                                dst="n2").value == 1
+        assert registry.counter("chan.retries", node="n1",
+                                dst="n3").value == 2
+
+
+def test_bound_counter_cache_rebinds_on_registry_swap():
+    from repro.obs.metrics import BoundCounterCache
+    cache = BoundCounterCache("c", "k")
+    with obs.use_metrics(MetricsRegistry()) as first:
+        cache.get("v").add()
+    with obs.use_metrics(MetricsRegistry()) as second:
+        cache.get("v").add()
+        cache.get("v").add()
+    assert first.counter("c", k="v").value == 1
+    assert second.counter("c", k="v").value == 2
+
+
+def test_null_registry_instruments_are_shared_noops():
+    from repro.obs.metrics import (
+        NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM, NullRegistry)
+    registry = NullRegistry()
+    assert registry.counter("a", x="1") is NULL_COUNTER
+    assert registry.counter("b") is NULL_COUNTER
+    assert registry.bind_counter("c") is NULL_COUNTER
+    assert registry.histogram("h") is NULL_HISTOGRAM
+    assert registry.gauge("g") is NULL_GAUGE
+    NULL_COUNTER.add(5)
+    NULL_HISTOGRAM.record(1.0)
+    NULL_GAUGE.set(2.0, at=0.5)
+    assert NULL_COUNTER.value == 0
+    assert NULL_HISTOGRAM.count == 0
+    assert NULL_HISTOGRAM.count_below(10.0) == 0
+    assert NULL_HISTOGRAM.summary() == {"count": 0}
+    assert NULL_GAUGE.last == 0.0
+    # Queries inherited from MetricsRegistry read as empty.
+    assert registry.counters() == {}
+    assert registry.snapshot() == {
+        "counters": {}, "histograms": {}, "gauges": {}}
+
+
+def test_count_below_is_incremental_after_first_query(registry):
+    hist = registry.histogram("lat")
+    for value in (0.1, 0.2, 0.3):
+        hist.record(value)
+    assert hist.count_below(0.2) == 2  # first query scans and registers
+    hist.record(0.15)
+    hist.record(0.9)
+    assert hist.count_below(0.2) == 3  # later records kept it current
+    assert hist.count_below(0.95) == 5  # fresh threshold backfills fully
+    hist.record(0.05)
+    assert hist.count_below(0.2) == 4
+    assert hist.count_below(0.95) == 6

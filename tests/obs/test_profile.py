@@ -181,3 +181,62 @@ class TestCLI:
         out = io.StringIO()
         render_profile(known_tree, out=out, top=1)
         assert "more row(s)" in out.getvalue()
+
+
+class TestFoldedDiff:
+    def _write(self, tmp_path, name, lines):
+        path = str(tmp_path / name)
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        return path
+
+    def test_parse_folded_roundtrip(self, tmp_path):
+        from repro.obs.profile import parse_folded
+        path = self._write(tmp_path, "run.folded",
+                           ["root;child 10", "root;child;leaf 7",
+                            "", "root 3"])
+        assert parse_folded(path) == {
+            "root;child": 10, "root;child;leaf": 7, "root": 3}
+
+    def test_parse_folded_rejects_garbage(self, tmp_path):
+        from repro.obs.profile import parse_folded
+        path = self._write(tmp_path, "bad.folded",
+                           ["root;child ten"])
+        with pytest.raises(ValueError):
+            parse_folded(path)
+
+    def test_diff_groups_by_leaf_operation(self):
+        from repro.obs.profile import diff_folded
+        old = {"a;net.link": 10, "b;net.link": 5, "a;rpc.call": 7}
+        new = {"c;net.link": 15, "a;rpc.call": 4, "a;gc": 2}
+        rows = diff_folded(old, new)
+        assert rows["net.link"] == {"old": 15, "new": 15, "delta": 0}
+        assert rows["rpc.call"] == {"old": 7, "new": 4, "delta": -3}
+        assert rows["gc"] == {"old": 0, "new": 2, "delta": 2}
+
+    def test_render_diff_flags_zero_drift(self):
+        from repro.obs.profile import diff_folded, render_diff
+        out = io.StringIO()
+        render_diff(diff_folded({"a;x": 5}, {"b;x": 5}), out=out)
+        assert "no simulated-time drift" in out.getvalue()
+
+    def test_render_diff_totals_nonzero_drift(self):
+        from repro.obs.profile import diff_folded, render_diff
+        out = io.StringIO()
+        render_diff(diff_folded({"x": 5}, {"x": 9}), out=out)
+        assert "total drift" in out.getvalue()
+
+    def test_cli_diff(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.folded", ["root;leaf 10"])
+        new = self._write(tmp_path, "new.folded", ["root;leaf 10"])
+        assert main(["--diff", old, new]) == 0
+        captured = capsys.readouterr()
+        assert "no simulated-time drift" in captured.out
+
+    def test_cli_diff_missing_file(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.folded", ["root 1"])
+        assert main(["--diff", old, str(tmp_path / "absent.folded")]) == 2
+
+    def test_cli_requires_workload_or_diff(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])

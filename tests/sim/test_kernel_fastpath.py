@@ -1,0 +1,112 @@
+"""The kernel fast paths must behave exactly like the generic paths."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Event, PriorityResource, Resource, Timeout
+from repro.sim.events import NORMAL, URGENT
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def test_timeout_fast_path_matches_generic_event(env):
+    event = env.timeout(1.5, value="v")
+    assert isinstance(event, Timeout)
+    assert event.delay == 1.5
+    assert event.triggered and event.ok
+    assert event.value == "v"
+    assert env.events_scheduled == 1
+
+
+def test_timeout_rejects_negative_delay(env):
+    with pytest.raises(SimulationError):
+        env.timeout(-0.1)
+    # The failed call must not have queued anything.
+    assert env.events_scheduled == 0
+    assert env.peek() == float("inf")
+
+
+def test_events_scheduled_counts_every_queued_event(env):
+    env.timeout(0.1)
+    env.schedule(Event(env))
+    assert env.events_scheduled == 2
+    env.run(until=1.0)
+    # run(until=...) queues the until-event itself.
+    assert env.events_scheduled == 3
+    assert env.events_processed == 3
+
+
+def test_urgent_still_beats_normal_at_same_instant(env):
+    order = []
+    normal = env.timeout(0.0)
+    normal.callbacks.append(lambda _e: order.append("normal"))
+    urgent = Event(env)
+    urgent._ok = True
+    urgent.callbacks.append(lambda _e: order.append("urgent"))
+    env.schedule(urgent, priority=URGENT)
+    env.run()
+    assert order == ["urgent", "normal"]
+    assert URGENT < NORMAL
+
+
+def test_events_are_slotted(env):
+    with pytest.raises(AttributeError):
+        env.timeout(0.1).arbitrary = 1
+    with pytest.raises(AttributeError):
+        Event(env).arbitrary = 1
+
+
+def test_events_processed_is_exact_after_failed_run(env):
+    def boom(env):
+        yield env.timeout(0.1)
+        raise RuntimeError("bang")
+
+    env.timeout(0.05)
+    env.process(boom(env))
+    with pytest.raises(RuntimeError):
+        env.run()
+    # Initialize + plain timeout + process timeout + process-failure
+    # event all drained before the error escalated.
+    assert env.events_processed == 4
+
+
+def test_priority_request_grant_fast_path_matches_queued_path(env):
+    channel = PriorityResource(env, capacity=1)
+    first = channel.request(priority=1)
+    second = channel.request(priority=0)
+    # First claim granted immediately (fast path); second queued.
+    assert first.triggered
+    assert not second.triggered
+    env.run()
+    assert first.usage_since == 0.0
+    channel.release(first)
+    env.run()
+    assert second.triggered
+
+
+def test_named_resource_wait_histogram_covers_fast_path(env):
+    from repro.obs.metrics import MetricsRegistry, use_metrics
+    with use_metrics(MetricsRegistry()) as metrics:
+        resource = Resource(env, capacity=1, name="disk")
+        resource.request()
+        channel = PriorityResource(env, capacity=1, name="lane")
+        channel.request(priority=0)
+        env.run()
+        # Both grant paths (generic and inlined) record a zero wait.
+        assert metrics.histogram("resource.wait", resource="disk").count == 1
+        assert metrics.histogram("resource.wait", resource="lane").count == 1
+
+
+def test_release_of_queued_request_still_withdraws(env):
+    resource = Resource(env, capacity=1)
+    holder = resource.request()
+    queued = resource.request()
+    env.run()
+    resource.release(queued)  # withdraw from the wait queue
+    resource.release(holder)
+    env.run()
+    assert not queued.triggered
+    assert resource.users == []
