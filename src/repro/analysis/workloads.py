@@ -117,9 +117,14 @@ def _register_lock_styles() -> Dict[str, Callable[..., Dict[str, Any]]]:
 def _register_obs_demos() -> Dict[str, Callable[..., Dict[str, Any]]]:
     # Imported here so the telemetry demos (which pull in the whole
     # net/node stack) only load when the registry is actually used.
-    from repro.obs.demo import slo_burn_workload, traced_rpc_workload
+    from repro.obs.demo import (
+        slo_burn_workload,
+        timeline_demo_workload,
+        traced_rpc_workload,
+    )
     return {"traced-rpc": traced_rpc_workload,
-            "slo-burn": slo_burn_workload}
+            "slo-burn": slo_burn_workload,
+            "timeline-demo": timeline_demo_workload}
 
 
 def _register_chaos() -> Dict[str, Callable[..., Dict[str, Any]]]:

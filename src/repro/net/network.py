@@ -41,7 +41,8 @@ class _BoundNetInstruments:
     started — exactly what per-call keyed lookups used to do.
     """
 
-    __slots__ = ("registry", "sent", "delivered", "latency", "link_bytes")
+    __slots__ = ("registry", "sent", "delivered", "latency", "link_bytes",
+                 "node_sent", "node_delivered")
 
     def __init__(self, registry: MetricsRegistry) -> None:
         self.registry = registry
@@ -50,6 +51,10 @@ class _BoundNetInstruments:
         self.latency = registry.bind_histogram("net.delivery_latency")
         #: link.label -> bound ``net.bytes`` counter, filled per hop.
         self.link_bytes: Dict[str, Any] = {}
+        #: source node -> bound ``net.node.sent`` counter.
+        self.node_sent: Dict[str, Any] = {}
+        #: destination node -> bound ``net.node.delivered`` counter.
+        self.node_delivered: Dict[str, Any] = {}
 
 
 class Host:
@@ -159,6 +164,11 @@ class Network:
         if bound is None or bound.registry is not metrics:
             bound = self._bound = _BoundNetInstruments(metrics)
         bound.sent.add()
+        node_sent = bound.node_sent.get(packet.src)
+        if node_sent is None:
+            node_sent = bound.node_sent[packet.src] = \
+                metrics.bind_counter("net.node.sent", node=packet.src)
+        node_sent.add()
         wire_size = packet.wire_size
         # Transit spans parent under whatever context the sender stamped
         # into the packet headers (e.g. an rpc.call span), so one trace
@@ -280,6 +290,11 @@ class Network:
         counts = self.counters._counts
         counts["delivered"] = counts.get("delivered", 0) + 1
         bound.delivered.add()
+        node_delivered = bound.node_delivered.get(packet.dst)
+        if node_delivered is None:
+            node_delivered = bound.node_delivered[packet.dst] = \
+                metrics.bind_counter("net.node.delivered", node=packet.dst)
+        node_delivered.add()
         latency = env._now - packet.created_at
         self.delivery_latency.record(latency)
         bound.latency.record(latency)

@@ -61,6 +61,8 @@ class Nucleus:
         # rebound whenever the process-default registry changes identity.
         self._invocation_counters = BoundCounterCache(
             "node.invocations", "kind", node=host.name)
+        self._op_counters = BoundCounterCache(
+            "node.op.invocations", "op", node=host.name)
         self._bound_registry = None
         self._rpc_latency = None
         self.rpc = RpcEndpoint(host, port=RPC_PORT, policies=policies)
@@ -131,6 +133,7 @@ class Nucleus:
         span = get_tracer().start_span(
             "node.invoke", at=start, parent=parent,
             node=self.node_name, oid=oid, op=op)
+        self._op_counters.get(op).add()
         local = self.find_object(oid)
         if local is not None:
             span.set_attribute("target", "local")

@@ -27,6 +27,12 @@ substrate.  This package provides it for every layer of the middleware:
 * **Export** — :func:`dump_jsonl` (machine-readable) and
   :func:`dump_chrome_trace` (opens in ``about:tracing`` / Perfetto), plus
   the ``python -m repro.obs.report`` CLI for latency/traffic tables.
+* **Timeline** — :class:`TimelineRecorder` snapshots instrument deltas
+  at fixed sim-time windows (zero extra events, so replay digests are
+  unaffected); :func:`dimension_table` rolls windows + spans into
+  per-node/link/actor/op hot-spot tables with Zipf-skew coefficients;
+  :func:`critical_summary` extracts per-trace critical paths.  The
+  ``python -m repro.obs.dashboard`` CLI fronts all three.
 
 Quick start::
 
@@ -56,10 +62,13 @@ from repro.obs.metrics import (
     set_metrics,
     use_metrics,
 )
+from repro.obs.critical import critical_path, critical_summary
 from repro.obs.profile import SpanProfile, render_profile
 from repro.obs.propagation import TRACE_HEADER, extract, inject
 from repro.obs.sampling import Sampler
 from repro.obs.span import NOOP_SPAN, NoopSpan, Span, SpanContext
+from repro.obs.tables import dimension_table, zipf_skew
+from repro.obs.timeline import TimelineRecorder, load_windows
 from repro.obs.tracer import (
     NOOP_TRACER,
     NoopTracer,
@@ -86,8 +95,12 @@ __all__ = [
     "SpanContext",
     "SpanProfile",
     "TRACE_HEADER",
+    "TimelineRecorder",
     "Tracer",
     "chrome_trace",
+    "critical_path",
+    "critical_summary",
+    "dimension_table",
     "disable_tracing",
     "dump_chrome_trace",
     "dump_jsonl",
@@ -98,7 +111,9 @@ __all__ = [
     "inject",
     "load_jsonl",
     "load_jsonl_tolerant",
+    "load_windows",
     "render_profile",
+    "zipf_skew",
     "set_metrics",
     "set_tracer",
     "use_metrics",

@@ -1,0 +1,188 @@
+"""Critical-path extraction over span trees.
+
+A trace's duration is set by one chain of spans — the *critical path*.
+Shaving time anywhere else changes nothing.  This module walks each
+trace's span tree backwards from the root's end:
+
+* at any point in time, the deepest span still covering the frontier
+  owns it;
+* among a span's children, the one that ends latest (before the
+  current frontier) is entered next; the gap between that child's end
+  and the frontier is the parent's **self time**;
+* the walk recurses into the child, then resumes in the parent from
+  the child's start, until the span's own start is reached.
+
+Self-time contributions therefore partition the root's duration
+exactly: they sum to it, each second attributed to exactly one span.
+Aggregating contributions across traces by operation yields the "top
+bottleneck operations" table — the place an engineer should look
+first.
+
+Everything is deterministic: children tie-break on ``(end, start,
+span_id)`` and output rows are sorted, so same-seed runs produce
+byte-identical critical paths.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs._cli import render_table
+
+
+def _operation(span: Dict[str, Any]) -> str:
+    """The aggregation key: explicit ``op`` attribute, else span name."""
+    op = span.get("attributes", {}).get("op")
+    return str(op) if op is not None else span["name"]
+
+
+def by_trace(records: Iterable[Dict[str, Any]]
+             ) -> Dict[str, List[Dict[str, Any]]]:
+    """Finished spans of a mixed dump, grouped by trace id (sorted)."""
+    traces: Dict[str, List[Dict[str, Any]]] = {}
+    for record in records:
+        if record.get("kind", "span") != "span":
+            continue
+        if record.get("end") is None:
+            continue
+        traces.setdefault(record["trace_id"], []).append(record)
+    return {trace_id: traces[trace_id] for trace_id in sorted(traces)}
+
+
+def critical_path(spans: List[Dict[str, Any]]
+                  ) -> Optional[Dict[str, Any]]:
+    """The critical path of one trace's finished spans.
+
+    Returns ``None`` when the trace has no root (all spans parented
+    outside the dump — e.g. sampled-out ancestors).  Otherwise a
+    JSON-safe document::
+
+        {"trace_id": ..., "root": ..., "duration": ...,
+         "steps": [{"op", "name", "self", "share", "count"}, ...]}
+
+    ``steps`` aggregate self time per span (ordered by self time
+    descending); their ``self`` values sum to ``duration``.
+    """
+    if not spans:
+        return None
+    ids = {span["span_id"] for span in spans}
+    roots = [span for span in spans
+             if span.get("parent_id") not in ids]
+    orphan_roots = [span for span in roots
+                    if span.get("parent_id") is not None]
+    roots = [span for span in roots if span.get("parent_id") is None]
+    if not roots:
+        return None
+    # Multi-root traces (rare; e.g. a ring-evicted parent) keep the
+    # earliest-starting root; the rest are unreachable from it anyway.
+    root = min(roots, key=lambda s: (s["start"], s["span_id"]))
+    children: Dict[str, List[Dict[str, Any]]] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent in ids:
+            children.setdefault(parent, []).append(span)
+
+    self_time: Dict[str, float] = {}
+    self_count: Dict[str, int] = {}
+
+    def walk(span: Dict[str, Any], frontier: float) -> None:
+        """Attribute [span.start, frontier] between span and children."""
+        key = span["span_id"]
+        kids = sorted(
+            children.get(key, ()),
+            key=lambda s: (-s["end"], -s["start"], s["span_id"]))
+        cursor = frontier
+        for kid in kids:
+            if kid["start"] >= cursor:
+                continue
+            end = min(kid["end"], cursor)
+            if end <= span["start"]:
+                break
+            _credit(span, cursor - end)
+            walk(kid, end)
+            cursor = max(kid["start"], span["start"])
+            if cursor <= span["start"]:
+                break
+        if cursor > span["start"]:
+            _credit(span, cursor - span["start"])
+
+    def _credit(span: Dict[str, Any], amount: float) -> None:
+        if amount <= 0:
+            return
+        op = _operation(span)
+        self_time[op] = self_time.get(op, 0.0) + amount
+        self_count[op] = self_count.get(op, 0) + 1
+
+    walk(root, root["end"])
+    duration = root["end"] - root["start"]
+    steps = [{"op": op,
+              "self": self_time[op],
+              "share": self_time[op] / duration if duration > 0 else 0.0,
+              "count": self_count[op]}
+             for op in sorted(self_time,
+                              key=lambda op: (-self_time[op], op))]
+    return {
+        "trace_id": root["trace_id"],
+        "root": root["name"],
+        "duration": duration,
+        "orphan_spans": len(orphan_roots),
+        "steps": steps,
+    }
+
+
+def critical_summary(records: Iterable[Dict[str, Any]]
+                     ) -> Dict[str, Any]:
+    """Critical paths for every trace in a dump, plus the aggregate.
+
+    The aggregate ``bottlenecks`` table sums self time per operation
+    across all traces: ``share`` is the fraction of total root
+    duration the operation owns on critical paths — the repo-wide
+    answer to "what should we speed up first?".
+    """
+    paths = []
+    for trace_id, spans in by_trace(records).items():
+        path = critical_path(spans)
+        if path is not None:
+            paths.append(path)
+    total = sum(path["duration"] for path in paths)
+    agg_self: Dict[str, float] = {}
+    agg_traces: Dict[str, int] = {}
+    for path in paths:
+        for step in path["steps"]:
+            op = step["op"]
+            agg_self[op] = agg_self.get(op, 0.0) + step["self"]
+            agg_traces[op] = agg_traces.get(op, 0) + 1
+    bottlenecks = [{"op": op,
+                    "self": agg_self[op],
+                    "share": agg_self[op] / total if total > 0 else 0.0,
+                    "traces": agg_traces[op]}
+                   for op in sorted(agg_self,
+                                    key=lambda op: (-agg_self[op], op))]
+    return {
+        "traces": len(paths),
+        "total_duration": total,
+        "paths": paths,
+        "bottlenecks": bottlenecks,
+    }
+
+
+def render_critical(summary: Dict[str, Any], out=None,
+                    top: Optional[int] = None,
+                    per_trace: bool = False) -> None:
+    """Print the bottleneck table (and per-trace paths on request)."""
+    render_table(
+        "critical-path bottlenecks ({} trace(s), {:.4g}s on path)".format(
+            summary["traces"], summary["total_duration"]),
+        ["operation", "self (s)", "share", "traces"],
+        [(row["op"], row["self"], row["share"], row["traces"])
+         for row in summary["bottlenecks"]],
+        out=out, top=top)
+    if per_trace:
+        for path in summary["paths"]:
+            render_table(
+                "critical path of {} ({}, {:.4g}s)".format(
+                    path["trace_id"], path["root"], path["duration"]),
+                ["operation", "self (s)", "share", "segments"],
+                [(step["op"], step["self"], step["share"], step["count"])
+                 for step in path["steps"]],
+                out=out, top=top)

@@ -15,6 +15,12 @@ all see them:
   multi-window burn-rate objective over its ``service.requests``
   counters.  The alert fires during the degradation and clears after
   recovery; both transitions land in the workload result.
+* ``timeline-demo`` — a deliberately *skewed* RPC fan-in (Zipf operation
+  mix, one hot client host) with a
+  :class:`~repro.obs.timeline.TimelineRecorder` attached, so the
+  dashboard's hot-spot tables and critical-path analysis have a
+  non-uniform workload to bite on.  The windows ride inside the result
+  dict, which makes the replay digest cover the whole timeline.
 
 Both return JSON-serialisable dicts that are pure functions of the seed,
 so ``python -m repro.analysis.replay`` can digest-check them.  When a
@@ -35,7 +41,7 @@ from repro.obs.metrics import MetricsRegistry, use_metrics
 from repro.obs.profile import SpanProfile
 from repro.obs.sampling import Sampler
 from repro.obs.tracer import Tracer, get_tracer, use_tracer
-from repro.sim import Environment, RandomStreams, exponential
+from repro.sim import Environment, RandomStreams, exponential, zipf_index
 
 CLIENTS = 3
 REQUESTS = 8
@@ -164,5 +170,115 @@ def slo_burn_workload(seed: int = 31) -> Dict[str, Any]:
         "first_cleared_at": cleared[0]["at"] if cleared else None,
         "active": [a.slo for a in monitor.active_alerts()],
         "requests": metrics.counters("service.requests"),
+        "env": env.stats(),
+    }
+
+
+# -- timeline-demo ----------------------------------------------------------
+
+TL_CLIENTS = 4
+TL_REQUESTS = 10
+TL_THINK_MEAN = 0.3
+TL_RESOLUTION = 0.5
+TL_MAX_SPANS = 2048
+TL_OPS = ("post", "read", "tag")
+TL_OP_SKEW = 1.3
+
+
+def timeline_demo_workload(seed: int = 31) -> Dict[str, Any]:
+    """Skewed RPC fan-in recorded onto a sim-time timeline.
+
+    Four clients (two sharing one deliberately hot host) invoke a
+    shared board; the operation per request is Zipf-drawn over
+    ``TL_OPS`` so the op table shows real skew.  A
+    :class:`~repro.obs.timeline.TimelineRecorder` at
+    ``TL_RESOLUTION``-second windows rides the run; the recorded
+    windows, the hot-spot rollups and the critical-path bottlenecks all
+    land in the (JSON-serialisable, digest-stable) result.
+    """
+    from repro.obs.critical import critical_summary
+    from repro.obs.export import span_record
+    from repro.obs.tables import dimension_table
+    from repro.obs.timeline import TimelineRecorder
+
+    ambient = get_tracer()
+    if ambient.enabled:
+        tracer = ambient
+        scope = contextlib.nullcontext()
+    else:
+        # No sampler: every trace is retained, so critical paths are
+        # complete end to end.
+        tracer = Tracer(max_spans=TL_MAX_SPANS)
+        scope = use_tracer(tracer)
+
+    env = Environment()
+    topo = wan(env, sites=2, hosts_per_site=2, site_latency=0.03)
+    net = Network(env, topo)
+    runtime = ODPRuntime(net, registry_node="site0.host0")
+    server = runtime.nucleus("site0.host0")
+    capsule = server.create_capsule("cap")
+    board = server.create_object(
+        capsule, "board", state={"post": 0, "read": 0, "tag": 0})
+
+    def bump(which):
+        def operation(caller, state, args):
+            state[which] += 1
+            return state[which]
+        return operation
+
+    for name in TL_OPS:
+        board.operation(name, bump(name))
+
+    rng = RandomStreams(seed).stream("timeline-demo")
+    metrics = MetricsRegistry()
+    recorder = TimelineRecorder(env, registry=metrics,
+                                resolution=TL_RESOLUTION)
+
+    def client_proc(env, name, host, requests):
+        nucleus = runtime.nucleus(host)
+        for step in range(requests):
+            yield env.timeout(exponential(rng, TL_THINK_MEAN))
+            op = TL_OPS[zipf_index(rng, len(TL_OPS), TL_OP_SKEW)]
+            with tracer.span("user.request", env, node=host, actor=name,
+                             op=op) as span:
+                yield nucleus.invoke(board.oid, op, None, parent=span)
+
+    # site1.host0 hosts two clients: the "hot node" the tables should
+    # rank first; later clients also send progressively fewer requests
+    # so per-node totals are properly skewed, not merely unequal.
+    placements = ["site1.host0", "site1.host0", "site1.host1",
+                  "site0.host1"]
+    with scope, use_metrics(metrics):
+        for i in range(TL_CLIENTS):
+            name = "client-{}".format(i)
+            env.process(
+                client_proc(env, name, placements[i],
+                            max(2, TL_REQUESTS // (i + 1))),
+                name=name)
+        env.run()
+    recorder.finish()
+
+    windows = list(recorder.records())
+    spans = [span_record(span) for span in tracer.spans]
+    node_table = dimension_table("node", windows, spans)
+    op_table = dimension_table("op", windows, spans)
+    critical = critical_summary(spans)
+    return {
+        "workload": "timeline-demo",
+        "seed": seed,
+        "resolution": TL_RESOLUTION,
+        "windows": windows,
+        "windows_flushed": recorder.flushed,
+        "board": dict(sorted(board.state.items())),
+        "top_node": node_table["rows"][0]["key"]
+        if node_table["rows"] else None,
+        "node_zipf_skew": node_table["zipf_skew"],
+        "op_totals": {row["key"]: row["total"]
+                      for row in op_table["rows"]},
+        "bottlenecks": [
+            {"op": row["op"], "self": row["self"], "share": row["share"]}
+            for row in critical["bottlenecks"][:5]],
+        "critical_traces": critical["traces"],
+        "spans_retained": len(tracer.spans),
         "env": env.stats(),
     }

@@ -29,11 +29,16 @@ def span_record(span: Span) -> Dict[str, Any]:
 
 
 def dump_jsonl(path: str, tracer: Optional[Tracer] = None,
-               metrics: Optional[MetricsRegistry] = None) -> int:
-    """Write spans then metrics to ``path``; returns the line count.
+               metrics: Optional[MetricsRegistry] = None,
+               timeline=None) -> int:
+    """Write spans, metrics, then timeline windows; returns line count.
 
     With no explicit ``tracer``/``metrics`` the process-wide defaults are
-    exported (the no-op tracer exports zero span lines).
+    exported (the no-op tracer exports zero span lines).  ``timeline``
+    optionally takes a :class:`~repro.obs.timeline.TimelineRecorder`
+    (or any iterable of window dicts) whose ``{"kind": "window"}``
+    records are appended, so one dump feeds the report, profile and
+    dashboard CLIs alike.
     """
     tracer = tracer if tracer is not None else get_tracer()
     metrics = metrics if metrics is not None else get_metrics()
@@ -45,6 +50,12 @@ def dump_jsonl(path: str, tracer: Optional[Tracer] = None,
         for record in metrics.records():
             handle.write(json.dumps(record) + "\n")
             lines += 1
+        if timeline is not None:
+            windows = timeline.records() \
+                if hasattr(timeline, "records") else timeline
+            for window in windows:
+                handle.write(json.dumps(window, sort_keys=True) + "\n")
+                lines += 1
     return lines
 
 

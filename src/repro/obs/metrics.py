@@ -17,7 +17,7 @@ metrics cannot change experiment output.
 from __future__ import annotations
 
 import contextlib
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.sim.monitor import Tally, TimeSeries
 
@@ -180,10 +180,50 @@ class MetricsRegistry:
 
     def counters(self, name: Optional[str] = None
                  ) -> Dict[str, int]:
-        """Counter values, optionally restricted to one instrument name."""
+        """Counter values, optionally restricted to one instrument name.
+
+        Keys are sorted (name, then label tuples), never insertion- or
+        hash-ordered, so digests over the result are stable across
+        ``PYTHONHASHSEED`` — the same guarantee :meth:`snapshot`,
+        :meth:`histograms`, :meth:`gauges` and :meth:`records` make.
+        """
         return {_render(key): instrument.value
                 for key, instrument in sorted(self._counters.items())
                 if name is None or key[0] == name}
+
+    def histograms(self, name: Optional[str] = None
+                   ) -> Dict[str, Dict[str, float]]:
+        """Histogram summaries, optionally restricted to one name
+        (sorted keys; see :meth:`counters`)."""
+        return {_render(key): instrument.summary()
+                for key, instrument in sorted(self._histograms.items())
+                if name is None or key[0] == name}
+
+    def gauges(self, name: Optional[str] = None) -> Dict[str, float]:
+        """Last gauge values, optionally restricted to one name
+        (sorted keys; see :meth:`counters`)."""
+        return {_render(key): instrument.last
+                for key, instrument in sorted(self._gauges.items())
+                if name is None or key[0] == name}
+
+    # -- instrument iteration (the timeline recorder's read path) ----------
+    #
+    # Sorted ``(rendered_key, instrument)`` pairs.  Handing out the
+    # instrument objects themselves lets a sampler difference live values
+    # in O(instruments) per window — no per-label keyed lookups — which
+    # is the same trick the bind_* hot-path API uses for writes.
+
+    def counter_items(self) -> List[Tuple[str, CounterInstrument]]:
+        return [(_render(key), inst)
+                for key, inst in sorted(self._counters.items())]
+
+    def histogram_items(self) -> List[Tuple[str, HistogramInstrument]]:
+        return [(_render(key), inst)
+                for key, inst in sorted(self._histograms.items())]
+
+    def gauge_items(self) -> List[Tuple[str, GaugeInstrument]]:
+        return [(_render(key), inst)
+                for key, inst in sorted(self._gauges.items())]
 
     # -- aggregation across label sets (the SLO layer's read path) ---------
 

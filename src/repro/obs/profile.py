@@ -311,27 +311,8 @@ def render_diff(rows: Dict[str, Dict[str, int]], out=None) -> None:
 def _table(title: str, headers: Sequence[str],
            rows: Iterable[Sequence[Any]], out, top: Optional[int] = None
            ) -> None:
-    rows = list(rows)
-    clipped = 0
-    if top is not None and len(rows) > top:
-        clipped = len(rows) - top
-        rows = rows[:top]
-    rendered = [["{:.4g}".format(cell) if isinstance(cell, float)
-                 else str(cell) for cell in row] for row in rows]
-    widths = [len(h) for h in headers]
-    for row in rendered:
-        widths = [max(w, len(cell)) for w, cell in zip(widths, row)]
-    line = "  ".join("{:<{w}}".format(h, w=w)
-                     for h, w in zip(headers, widths))
-    out.write("\n" + title + "\n")
-    out.write("-" * len(line) + "\n")
-    out.write(line + "\n")
-    for row in rendered:
-        out.write("  ".join("{:<{w}}".format(cell, w=w)
-                            for cell, w in zip(row, widths)) + "\n")
-    if clipped:
-        out.write("... {} more row(s); raise --top to see them\n".format(
-            clipped))
+    from repro.obs._cli import render_table
+    render_table(title, headers, rows, out=out, top=top)
 
 
 def render_profile(profile: SpanProfile, out=None,
@@ -407,16 +388,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if options.from_dump:
-        from repro.obs.export import load_jsonl_tolerant
-        try:
-            records, skipped = load_jsonl_tolerant(options.workload)
-        except OSError as exc:
-            print("error: cannot read {}: {}".format(options.workload, exc),
-                  file=sys.stderr)
+        from repro.obs._cli import load_dump_records
+        records = load_dump_records(options.workload)
+        if records is None:
             return 2
-        if skipped:
-            print("note: skipped {} malformed JSONL line(s)".format(
-                skipped), file=sys.stderr)
         profile = SpanProfile.from_records(records)
     else:
         if options.workload not in WORKLOADS:

@@ -3,54 +3,37 @@
 Usage::
 
     PYTHONPATH=src python -m repro.obs.report run.jsonl
+    PYTHONPATH=src python -m repro.obs.report run.jsonl --format json
 
 Reads the spans and metrics written by
 :func:`repro.obs.export.dump_jsonl` and prints per-operation,
 per-node and per-object latency tables plus a traffic/drop summary —
 the "pattern of use" view §4.2.1 of the paper asks management
-functions to maintain.
+functions to maintain.  ``--format json`` emits the same tables as one
+machine-readable document (sorted keys, stable across runs) for
+scripts and CI assertions; the exit status is non-zero when the dump
+is unreadable or contains no parseable records.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Any, Dict, Iterable, List, Sequence
 
-from repro.obs.export import load_jsonl_tolerant
+from repro.obs._cli import fmt_cell, load_dump_records, render_table
 from repro.sim.monitor import Tally
 
 
 def _table(title: str, headers: Sequence[str],
            rows: Iterable[Sequence[Any]], out=None,
            top: int = None) -> None:
-    out = out if out is not None else sys.stdout
-    rows = list(rows)
-    clipped = 0
-    if top is not None and len(rows) > top:
-        clipped = len(rows) - top
-        rows = rows[:top]
-    rendered = [[_fmt(cell) for cell in row] for row in rows]
-    widths = [len(h) for h in headers]
-    for row in rendered:
-        widths = [max(w, len(cell)) for w, cell in zip(widths, row)]
-    line = "  ".join("{:<{w}}".format(h, w=w)
-                     for h, w in zip(headers, widths))
-    out.write("\n" + title + "\n")
-    out.write("-" * len(line) + "\n")
-    out.write(line + "\n")
-    for row in rendered:
-        out.write("  ".join("{:<{w}}".format(cell, w=w)
-                            for cell, w in zip(row, widths)) + "\n")
-    if clipped:
-        out.write("... {} more row(s); raise --top to see them\n".format(
-            clipped))
+    render_table(title, headers, rows, out=out, top=top)
 
 
 def _fmt(cell: Any) -> str:
-    if isinstance(cell, float):
-        return "{:.4g}".format(cell)
-    return str(cell)
+    return fmt_cell(cell)
 
 
 def _durations(spans: Iterable[Dict[str, Any]], group_attr: str = None,
@@ -76,6 +59,64 @@ def _durations(spans: Iterable[Dict[str, Any]], group_attr: str = None,
     return groups
 
 
+def report_data(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """The report as one JSON-safe dict (the ``--format json`` payload).
+
+    Every table the text renderer prints, keyed by table, with rows in
+    the same sorted order — so digests over the document are as stable
+    as the dump itself.
+    """
+    spans = [r for r in records if r.get("kind") == "span"]
+    metrics = [r for r in records if r.get("kind") == "metric"]
+    traces = {s["trace_id"] for s in spans}
+
+    def rows(groups: Dict[str, Tally], *stats: str) -> Dict[str, Any]:
+        return {key: {stat: getattr(tally, stat) for stat in stats}
+                for key, tally in sorted(groups.items())}
+
+    invokes = [s for s in spans if s["name"] in
+               ("node.invoke", "rpc.serve")]
+    traffic: Dict[str, List[float]] = {}
+    for span in spans:
+        if span["name"] != "net.transmit":
+            continue
+        attrs = span.get("attributes", {})
+        src = str(attrs.get("src", "?"))
+        row = traffic.setdefault(src, [0, 0, 0])
+        row[0] += 1
+        row[1] += attrs.get("bytes", 0)
+        if str(span.get("status", "ok")).startswith("dropped"):
+            row[2] += 1
+    return {
+        "spans": len(spans),
+        "traces": len(traces),
+        "metric_records": len(metrics),
+        "by_operation": rows(_durations(spans),
+                             "count", "mean", "p95", "maximum"),
+        "invocation_by_node": rows(_durations(invokes, "node"),
+                                   "count", "mean", "p95"),
+        "invocation_by_object": rows(_durations(invokes, "oid"),
+                                     "count", "mean", "p95"),
+        "traffic_by_source": {
+            src: {"packets": int(c), "bytes": int(b), "dropped": int(d)}
+            for src, (c, b, d) in sorted(traffic.items())},
+        "counters": [
+            {"name": m["name"], "labels": dict(sorted(m["labels"].items())),
+             "value": m["value"]}
+            for m in metrics if m.get("type") == "counter"],
+        "histograms": [
+            {"name": m["name"], "labels": dict(sorted(m["labels"].items())),
+             "count": int(m["summary"]["count"]),
+             "mean": m["summary"]["mean"], "p95": m["summary"]["p95"]}
+            for m in metrics if m.get("type") == "histogram"],
+    }
+
+
+def _labels_cell(labels: Dict[str, str]) -> str:
+    return ",".join("{}={}".format(k, v)
+                    for k, v in sorted(labels.items())) or "-"
+
+
 def render_report(records: List[Dict[str, Any]], out=None,
                   top: int = None) -> None:
     """Print every table the dump supports to ``out`` (default stdout).
@@ -85,65 +126,45 @@ def render_report(records: List[Dict[str, Any]], out=None,
     readable.
     """
     out = out if out is not None else sys.stdout
-    spans = [r for r in records if r.get("kind") == "span"]
-    metrics = [r for r in records if r.get("kind") == "metric"]
-    traces = {s["trace_id"] for s in spans}
+    data = report_data(records)
     out.write("{} spans in {} traces, {} metric records\n".format(
-        len(spans), len(traces), len(metrics)))
+        data["spans"], data["traces"], data["metric_records"]))
 
-    by_name = _durations(spans)
     _table("spans by operation",
            ["operation", "count", "mean (s)", "p95 (s)", "max (s)"],
-           [(name, tally.count, tally.mean, tally.p95, tally.maximum)
-            for name, tally in sorted(by_name.items())], out, top=top)
+           [(name, row["count"], row["mean"], row["p95"], row["maximum"])
+            for name, row in data["by_operation"].items()], out, top=top)
 
-    invokes = [s for s in spans if s["name"] in
-               ("node.invoke", "rpc.serve")]
-    by_node = _durations(invokes, "node")
-    if by_node:
+    if data["invocation_by_node"]:
         _table("invocation latency by node",
                ["node", "count", "mean (s)", "p95 (s)"],
-               [(node, tally.count, tally.mean, tally.p95)
-                for node, tally in sorted(by_node.items())], out, top=top)
-    by_object = _durations(invokes, "oid")
-    if by_object:
+               [(node, row["count"], row["mean"], row["p95"])
+                for node, row in data["invocation_by_node"].items()],
+               out, top=top)
+    if data["invocation_by_object"]:
         _table("invocation latency by object",
                ["object", "count", "mean (s)", "p95 (s)"],
-               [(oid, tally.count, tally.mean, tally.p95)
-                for oid, tally in sorted(by_object.items())], out, top=top)
+               [(oid, row["count"], row["mean"], row["p95"])
+                for oid, row in data["invocation_by_object"].items()],
+               out, top=top)
 
-    transits = [s for s in spans if s["name"] == "net.transmit"]
-    traffic: Dict[str, List[float]] = {}
-    for span in transits:
-        attrs = span.get("attributes", {})
-        src = str(attrs.get("src", "?"))
-        row = traffic.setdefault(src, [0, 0, 0])
-        row[0] += 1
-        row[1] += attrs.get("bytes", 0)
-        if str(span.get("status", "ok")).startswith("dropped"):
-            row[2] += 1
-    if traffic:
+    if data["traffic_by_source"]:
         _table("traffic by source node",
                ["node", "packets", "bytes", "dropped"],
-               [(src, int(c), int(b), int(d))
-                for src, (c, b, d) in sorted(traffic.items())], out, top=top)
+               [(src, row["packets"], row["bytes"], row["dropped"])
+                for src, row in data["traffic_by_source"].items()],
+               out, top=top)
 
-    counters = [m for m in metrics if m.get("type") == "counter"]
-    if counters:
+    if data["counters"]:
         _table("counters", ["name", "labels", "value"],
-               [(m["name"],
-                 ",".join("{}={}".format(k, v)
-                          for k, v in sorted(m["labels"].items())) or "-",
-                 m["value"]) for m in counters], out, top=top)
-    histograms = [m for m in metrics if m.get("type") == "histogram"]
-    if histograms:
+               [(m["name"], _labels_cell(m["labels"]), m["value"])
+                for m in data["counters"]], out, top=top)
+    if data["histograms"]:
         _table("histograms",
                ["name", "labels", "count", "mean", "p95"],
-               [(m["name"],
-                 ",".join("{}={}".format(k, v)
-                          for k, v in sorted(m["labels"].items())) or "-",
-                 int(m["summary"]["count"]), m["summary"]["mean"],
-                 m["summary"]["p95"]) for m in histograms], out, top=top)
+               [(m["name"], _labels_cell(m["labels"]), m["count"],
+                 m["mean"], m["p95"]) for m in data["histograms"]],
+               out, top=top)
 
 
 def main(argv: Sequence[str] = None) -> int:
@@ -153,22 +174,19 @@ def main(argv: Sequence[str] = None) -> int:
     parser.add_argument("dump", help="path to a dump_jsonl() file")
     parser.add_argument("--top", type=int, default=None, metavar="N",
                         help="show at most N rows per table")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="fmt",
+                        help="text tables (default) or one JSON document")
     options = parser.parse_args(argv)
-    try:
-        records, skipped = load_jsonl_tolerant(options.dump)
-    except OSError as exc:
-        print("error: cannot read {}: {}".format(options.dump, exc),
-              file=sys.stderr)
-        return 2
-    if skipped:
-        print("note: skipped {} malformed JSONL line(s) (truncated "
-              "dump?)".format(skipped), file=sys.stderr)
-    if not records:
-        print("error: {} contains no parseable records".format(
-            options.dump), file=sys.stderr)
+    records = load_dump_records(options.dump)
+    if records is None:
         return 2
     try:
-        render_report(records, top=options.top)
+        if options.fmt == "json":
+            print(json.dumps(report_data(records), sort_keys=True,
+                             indent=2))
+        else:
+            render_report(records, top=options.top)
     except BrokenPipeError:
         # Reader (e.g. ``| head``) closed the pipe early; not an error.
         sys.stderr.close()

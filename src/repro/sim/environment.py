@@ -54,6 +54,17 @@ class Environment:
         # (events_scheduled is derived from the schedule-order tiebreaker
         # ``_eid``, which advances in lockstep with it by construction.)
         self.events_processed = 0
+        # Window-boundary hook (see set_window_hook): fired from inside
+        # the event loop when the clock reaches each boundary, without
+        # scheduling any events — so the scheduling counters the replay
+        # digests cover are identical with or without a hook installed.
+        # With no hook, ``_window_next`` is infinity and the loop pays
+        # one float compare per event.
+        self._window_hook: Optional[Any] = None
+        self._window_interval = 0.0
+        self._window_anchor = 0.0
+        self._window_index = 0
+        self._window_next = Infinity
 
     @property
     def now(self) -> float:
@@ -145,6 +156,60 @@ class Environment:
                  (self._now + delay,
                   (priority << _PRIORITY_SHIFT) + self._eid, event))
 
+    # -- window-boundary hook ----------------------------------------------
+
+    def set_window_hook(self, interval: float, callback,
+                        start: Optional[float] = None) -> None:
+        """Call ``callback(boundary_time)`` at fixed sim-time boundaries.
+
+        Boundaries are ``start + k*interval`` for ``k = 1, 2, ...``
+        (``start`` defaults to the current time).  The hook fires from
+        inside the event loop, *before* the callbacks of the event that
+        reached the boundary run, so a flush at boundary ``B`` observes
+        exactly the effects of events with ``t < B`` — a deterministic
+        cut of the timeline.  No events are scheduled on its behalf:
+        ``events_scheduled`` / ``events_processed`` are identical with
+        or without a hook, which is what keeps timeline recording
+        invisible to replay digests.  The callback must not advance the
+        clock; scheduling new events from it is allowed but defeats
+        that invisibility.
+
+        Only one hook may be installed at a time (the timeline recorder
+        owns it); installing over an existing one raises.
+        """
+        if interval <= 0:
+            raise SimulationError(
+                "window interval must be positive: {!r}".format(interval))
+        if self._window_hook is not None:
+            raise SimulationError("a window hook is already installed")
+        self._window_hook = callback
+        self._window_interval = float(interval)
+        self._window_anchor = self._now if start is None else float(start)
+        self._window_index = 1
+        self._window_next = self._window_anchor + self._window_interval
+
+    def clear_window_hook(self) -> None:
+        """Uninstall the window hook (idempotent)."""
+        self._window_hook = None
+        self._window_interval = 0.0
+        self._window_anchor = 0.0
+        self._window_index = 0
+        self._window_next = Infinity
+
+    def _fire_window_hook(self) -> None:
+        """Fire the hook for every boundary the clock has reached.
+
+        Boundaries are computed as ``anchor + index*interval`` (not by
+        repeated addition), so long runs do not accumulate float drift.
+        """
+        hook = self._window_hook
+        while self._now >= self._window_next:
+            boundary = self._window_next
+            self._window_index += 1
+            self._window_next = self._window_anchor \
+                + self._window_index * self._window_interval
+            hook(boundary)
+
     def peek(self) -> float:
         """Time of the next scheduled event, or infinity if none."""
         if not self._queue:
@@ -157,6 +222,8 @@ class Environment:
             self._now, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule("no more events")
+        if self._now >= self._window_next:
+            self._fire_window_hook()
         self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
@@ -207,6 +274,8 @@ class Environment:
                     self._now, _, event = pop(queue)
                 except IndexError:
                     raise EmptySchedule("no more events")
+                if self._now >= self._window_next:
+                    self._fire_window_hook()
                 processed += 1
                 callbacks, event.callbacks = event.callbacks, None
                 for callback in callbacks:

@@ -1,0 +1,132 @@
+"""Critical-path extraction over span trees."""
+
+import pytest
+
+from repro.obs.critical import (
+    by_trace,
+    critical_path,
+    critical_summary,
+    render_critical,
+)
+
+
+def span(span_id, name, start, end, parent=None, trace="t1", **attrs):
+    return {"kind": "span", "name": name, "trace_id": trace,
+            "span_id": span_id, "parent_id": parent, "start": start,
+            "end": end, "status": "ok", "attributes": attrs, "events": []}
+
+
+def steps_by_op(path):
+    return {step["op"]: step for step in path["steps"]}
+
+
+def test_single_span_owns_its_whole_duration():
+    path = critical_path([span("s1", "root", 0.0, 4.0)])
+    assert path["duration"] == 4.0
+    assert path["steps"] == [
+        {"op": "root", "self": 4.0, "share": 1.0, "count": 1}]
+
+
+def test_child_splits_parent_self_time():
+    spans = [span("s1", "root", 0.0, 10.0),
+             span("s2", "child", 2.0, 7.0, parent="s1")]
+    path = critical_path(spans)
+    steps = steps_by_op(path)
+    # Parent keeps [0,2] and [7,10]; child owns [2,7].
+    assert steps["root"]["self"] == 5.0
+    assert steps["child"]["self"] == 5.0
+    assert sum(s["self"] for s in path["steps"]) == path["duration"]
+
+
+def test_nested_chain_attributes_leaf_time_to_leaf():
+    spans = [span("s1", "root", 0.0, 10.0),
+             span("s2", "mid", 1.0, 9.0, parent="s1"),
+             span("s3", "leaf", 2.0, 8.0, parent="s2")]
+    steps = steps_by_op(critical_path(spans))
+    assert steps["root"]["self"] == 2.0
+    assert steps["mid"]["self"] == 2.0
+    assert steps["leaf"]["self"] == 6.0
+
+
+def test_parallel_children_only_determining_chain_counts():
+    """Two overlapping children: the later-ending one owns the overlap."""
+    spans = [span("s1", "root", 0.0, 10.0),
+             span("s2", "slow", 1.0, 9.0, parent="s1"),
+             span("s3", "fast", 1.0, 5.0, parent="s1")]
+    steps = steps_by_op(critical_path(spans))
+    # slow covers [1,9]; fast is entirely shadowed by it.
+    assert steps["slow"]["self"] == 8.0
+    assert "fast" not in steps
+    assert steps["root"]["self"] == 2.0
+
+
+def test_sequential_children_chain_through_gaps():
+    spans = [span("s1", "root", 0.0, 10.0),
+             span("s2", "first", 1.0, 4.0, parent="s1"),
+             span("s3", "second", 5.0, 9.0, parent="s1")]
+    steps = steps_by_op(critical_path(spans))
+    assert steps["first"]["self"] == 3.0
+    assert steps["second"]["self"] == 4.0
+    # Gaps [0,1], [4,5], [9,10] belong to the root.
+    assert steps["root"]["self"] == 3.0
+
+
+def test_op_attribute_overrides_span_name():
+    spans = [span("s1", "root", 0.0, 2.0),
+             span("s2", "node.invoke", 0.5, 1.5, parent="s1", op="post")]
+    steps = steps_by_op(critical_path(spans))
+    assert "post" in steps and "node.invoke" not in steps
+
+
+def test_orphan_trace_returns_none():
+    assert critical_path([span("s2", "child", 0.0, 1.0,
+                               parent="missing")]) is None
+    assert critical_path([]) is None
+
+
+def test_by_trace_groups_and_skips_unfinished():
+    records = [span("s1", "a", 0.0, 1.0, trace="t1"),
+               span("s2", "b", 0.0, None, trace="t1"),
+               span("s3", "c", 0.0, 2.0, trace="t2"),
+               {"kind": "metric", "name": "x"}]
+    traces = by_trace(records)
+    assert sorted(traces) == ["t1", "t2"]
+    assert [s["span_id"] for s in traces["t1"]] == ["s1"]
+
+
+def test_summary_aggregates_across_traces():
+    records = [span("s1", "root", 0.0, 4.0, trace="t1"),
+               span("s2", "rpc", 1.0, 3.0, parent="s1", trace="t1"),
+               span("s3", "root", 0.0, 6.0, trace="t2"),
+               span("s4", "rpc", 1.0, 5.0, parent="s3", trace="t2")]
+    summary = critical_summary(records)
+    assert summary["traces"] == 2
+    assert summary["total_duration"] == 10.0
+    top = summary["bottlenecks"][0]
+    assert top["op"] == "rpc"
+    assert top["self"] == 6.0
+    assert top["share"] == 0.6
+    assert top["traces"] == 2
+
+
+def test_render_critical_prints_bottlenecks():
+    import io
+    records = [span("s1", "root", 0.0, 4.0),
+               span("s2", "rpc", 1.0, 3.0, parent="s1")]
+    out = io.StringIO()
+    render_critical(critical_summary(records), out=out, per_trace=True)
+    text = out.getvalue()
+    assert "critical-path bottlenecks" in text
+    assert "critical path of t1" in text
+    assert "rpc" in text
+
+
+def test_contributions_sum_to_root_duration_on_deep_trees():
+    spans = [span("s1", "root", 0.0, 20.0)]
+    for i in range(8):
+        spans.append(span("s{}".format(i + 2), "op{}".format(i % 3),
+                          float(i) + 1.0, 19.0 - float(i),
+                          parent="s{}".format(i + 1)))
+    path = critical_path(spans)
+    assert abs(sum(s["self"] for s in path["steps"])
+               - path["duration"]) < 1e-9

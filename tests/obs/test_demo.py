@@ -65,3 +65,43 @@ class TestSloBurn:
         second = json.dumps(run_workload("slo-burn", seed=31),
                             sort_keys=True)
         assert first == second
+
+
+class TestTimelineDemo:
+
+    def test_registered_and_json_safe(self):
+        assert "timeline-demo" in WORKLOADS
+        result = run_workload("timeline-demo", seed=31)
+        json.dumps(result)  # fully serialisable, windows included
+
+    def test_windows_are_contiguous_and_nonempty(self):
+        result = run_workload("timeline-demo", seed=31)
+        windows = result["windows"]
+        assert windows
+        assert [w["index"] for w in windows] == list(range(len(windows)))
+        for prev, cur in zip(windows, windows[1:]):
+            assert cur["start"] == prev["end"]
+        assert result["windows_flushed"] == len(windows)
+
+    def test_workload_is_genuinely_skewed(self):
+        result = run_workload("timeline-demo", seed=31)
+        assert result["node_zipf_skew"] > 0.5
+        # The doubled-up host carries the most client traffic.
+        assert result["top_node"] is not None
+        # Ops follow the Zipf draw: the hot op dominates.
+        totals = sorted(result["op_totals"].values(), reverse=True)
+        assert totals[0] > totals[-1]
+
+    def test_critical_path_covers_traces(self):
+        result = run_workload("timeline-demo", seed=31)
+        assert result["critical_traces"] > 0
+        assert result["bottlenecks"]
+        shares = [b["share"] for b in result["bottlenecks"]]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_deterministic(self):
+        first = json.dumps(run_workload("timeline-demo", seed=31),
+                           sort_keys=True)
+        second = json.dumps(run_workload("timeline-demo", seed=31),
+                            sort_keys=True)
+        assert first == second

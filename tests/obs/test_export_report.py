@@ -132,3 +132,61 @@ def test_report_cli_rejects_dump_with_no_records(tmp_path, capsys):
         handle.write("not json at all\n{{{\n")
     assert main([path]) == 2
     assert "no parseable records" in capsys.readouterr().err
+
+
+def test_report_cli_format_json(traced_run, capsys):
+    path, _ = traced_run
+    assert main([path, "--format", "json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["spans"] > 0
+    assert "node.invoke" in data["by_operation"]
+    assert data["invocation_by_node"]["host1"]["count"] == 3
+    assert any(m["name"] == "rpc.latency" for m in data["histograms"])
+
+
+def test_report_json_matches_text_counts(traced_run, capsys):
+    path, _ = traced_run
+    assert main([path, "--format", "json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert main([path]) == 0
+    text = capsys.readouterr().out
+    assert text.startswith("{} spans in {} traces, {} metric records".format(
+        data["spans"], data["traces"], data["metric_records"]))
+
+
+def test_report_json_is_byte_stable(traced_run, capsys):
+    path, _ = traced_run
+    assert main([path, "--format", "json"]) == 0
+    first = capsys.readouterr().out
+    assert main([path, "--format", "json"]) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_report_cli_unreadable_file_exits_2(tmp_path, capsys):
+    assert main([str(tmp_path / "missing.jsonl")]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_dump_jsonl_appends_timeline_windows(tmp_path):
+    from repro.obs.timeline import TimelineRecorder
+    from repro.sim import Environment
+
+    with obs.use_metrics(obs.MetricsRegistry()) as metrics:
+        env = Environment()
+        recorder = TimelineRecorder(env, registry=metrics, resolution=1.0)
+
+        def proc(env):
+            for _ in range(3):
+                yield env.timeout(0.8)
+                metrics.counter("ticks").add()
+
+        env.process(proc(env))
+        env.run()
+        recorder.finish()
+        path = str(tmp_path / "mixed.jsonl")
+        obs.dump_jsonl(path, metrics=metrics, timeline=recorder)
+    records = obs.load_jsonl(path)
+    kinds = {record["kind"] for record in records}
+    assert "window" in kinds and "metric" in kinds
+    windows = [r for r in records if r["kind"] == "window"]
+    assert sum(w["counters"].get("ticks", 0) for w in windows) == 3

@@ -164,3 +164,93 @@ def test_count_below_is_incremental_after_first_query(registry):
     hist.record(0.05)
     assert hist.count_below(0.2) == 4
     assert hist.count_below(0.95) == 6
+
+
+# -- label-subset queries ---------------------------------------------------
+
+def test_counter_total_over_label_subsets(registry):
+    registry.counter("reqs", node="a", op="post").add(3)
+    registry.counter("reqs", node="a", op="read").add(2)
+    registry.counter("reqs", node="b", op="post").add(5)
+    registry.counter("reqs", node="b").add(7)  # coarser label set
+    assert registry.counter_total("reqs") == 17
+    assert registry.counter_total("reqs", node="a") == 5
+    assert registry.counter_total("reqs", op="post") == 8
+    assert registry.counter_total("reqs", node="b") == 12
+    assert registry.counter_total("reqs", node="b", op="post") == 5
+
+
+def test_counter_total_zero_match_subsets(registry):
+    registry.counter("reqs", node="a").add(3)
+    assert registry.counter_total("reqs", node="z") == 0
+    assert registry.counter_total("reqs", shard="0") == 0
+    assert registry.counter_total("other") == 0
+    # Querying MORE labels than any instrument carries matches nothing.
+    assert registry.counter_total("reqs", node="a", op="post") == 0
+
+
+def test_histogram_count_below_over_label_subsets(registry):
+    registry.histogram("lat", node="a", op="post").record(0.1)
+    registry.histogram("lat", node="a", op="read").record(0.5)
+    registry.histogram("lat", node="b", op="post").record(0.1)
+    assert registry.histogram_count_below("lat", 0.2) == 2
+    assert registry.histogram_count_below("lat", 0.2, node="a") == 1
+    assert registry.histogram_count_below("lat", 0.2, op="post") == 2
+    assert registry.histogram_count_below("lat", 1.0, node="a") == 2
+    assert registry.histogram_count_below("lat", 0.2, node="z") == 0
+    assert registry.histogram_count_below("lat", 0.2, shard="9") == 0
+    assert registry.histogram_count("lat", op="post") == 2
+
+
+# -- deterministic iteration order ------------------------------------------
+
+def _populate_unordered(registry):
+    # Insertion order deliberately scrambled relative to sort order.
+    registry.counter("z.last", node="n9").add(1)
+    registry.counter("a.first", node="n2").add(2)
+    registry.counter("a.first", node="n1").add(3)
+    registry.histogram("m.mid", op="b").record(1.0)
+    registry.histogram("m.mid", op="a").record(2.0)
+    registry.gauge("g", k="2").set(1.0, at=0.0)
+    registry.gauge("g", k="1").set(2.0, at=0.0)
+
+
+def test_snapshot_iterates_in_sorted_key_order(registry):
+    _populate_unordered(registry)
+    snapshot = registry.snapshot()
+    assert list(snapshot["counters"]) == [
+        "a.first{node=n1}", "a.first{node=n2}", "z.last{node=n9}"]
+    assert list(snapshot["histograms"]) == ["m.mid{op=a}", "m.mid{op=b}"]
+    assert list(snapshot["gauges"]) == ["g{k=1}", "g{k=2}"]
+
+
+def test_records_counters_views_and_items_share_the_order(registry):
+    _populate_unordered(registry)
+    expected = ["a.first{node=n1}", "a.first{node=n2}", "z.last{node=n9}"]
+    assert list(registry.counters()) == expected
+    assert [key for key, _ in registry.counter_items()] == expected
+    assert [key for key, _ in registry.histogram_items()] == [
+        "m.mid{op=a}", "m.mid{op=b}"]
+    assert [key for key, _ in registry.gauge_items()] == [
+        "g{k=1}", "g{k=2}"]
+    records = list(registry.records())
+    rendered = [(r["type"], r["name"], tuple(sorted(r["labels"].items())))
+                for r in records]
+    assert rendered == sorted(rendered, key=lambda r: (
+        {"counter": 0, "histogram": 1, "gauge": 2}[r[0]], r[1], r[2]))
+
+
+def test_items_return_live_instruments(registry):
+    registry.counter("a", node="n1").add(2)
+    ((key, inst),) = registry.counter_items()
+    assert key == "a{node=n1}"
+    inst.add(3)
+    assert registry.counter("a", node="n1").value == 5
+
+
+def test_histograms_and_gauges_views(registry):
+    registry.histogram("h", k="v").record(1.0)
+    registry.gauge("g").set(4.0, at=1.0)
+    assert registry.histograms()["h{k=v}"]["count"] == 1.0
+    assert registry.gauges() == {"g": 4.0}
+    assert registry.histograms("nope") == {}

@@ -1,0 +1,132 @@
+"""Hot-spot rollup tables and the Zipf-skew coefficient."""
+
+import io
+
+import pytest
+
+from repro.obs.tables import (
+    DIMENSIONS,
+    all_tables,
+    dimension_table,
+    render_dimension_table,
+    zipf_skew,
+)
+
+
+def window(index, start, end, counters=None, histograms=None):
+    return {"kind": "window", "index": index, "start": start, "end": end,
+            "counters": counters or {}, "histograms": histograms or {},
+            "gauges": {}}
+
+
+def span(name, start, end, span_id="s1", trace_id="t1", parent=None,
+         **attributes):
+    return {"kind": "span", "name": name, "trace_id": trace_id,
+            "span_id": span_id, "parent_id": parent, "start": start,
+            "end": end, "status": "ok", "attributes": attributes,
+            "events": []}
+
+
+# -- zipf_skew --------------------------------------------------------------
+
+def test_zipf_skew_uniform_is_zero():
+    assert zipf_skew([10, 10, 10, 10]) == 0.0
+
+
+def test_zipf_skew_ideal_zipf_is_one():
+    counts = [1000.0 / rank for rank in range(1, 11)]
+    assert abs(zipf_skew(counts) - 1.0) < 1e-9
+
+
+def test_zipf_skew_steeper_distributions_score_higher():
+    mild = [1000.0 / rank for rank in range(1, 11)]
+    steep = [1000.0 / rank ** 2 for rank in range(1, 11)]
+    assert zipf_skew(steep) > zipf_skew(mild)
+
+
+def test_zipf_skew_degenerate_inputs():
+    assert zipf_skew([]) == 0.0
+    assert zipf_skew([5]) == 0.0
+    assert zipf_skew([0, 0, 3]) == 0.0  # one positive count
+
+
+# -- dimension_table --------------------------------------------------------
+
+def test_counter_totals_rates_and_peaks():
+    windows = [
+        window(0, 0.0, 1.0, {"net.node.sent{node=a}": 5,
+                             "net.node.sent{node=b}": 1}),
+        window(1, 1.0, 2.0, {"net.node.sent{node=a}": 2,
+                             "net.node.sent{node=b}": 9}),
+    ]
+    doc = dimension_table("node", windows)
+    assert doc["duration"] == 2.0
+    rows = {row["key"]: row for row in doc["rows"]}
+    assert rows["a"]["total"] == 7
+    assert rows["a"]["rate"] == 3.5
+    assert rows["a"]["peak_at"] == 0.0 and rows["a"]["peak"] == 5
+    assert rows["b"]["peak_at"] == 1.0 and rows["b"]["peak"] == 9
+    # b's rate (5/s) beats a's (3.5/s): top-K order.
+    assert [row["key"] for row in doc["rows"]] == ["b", "a"]
+
+
+def test_span_latency_percentiles():
+    spans = [span("node.invoke", 0.0, 0.1 * (i + 1),
+                  span_id="s{}".format(i), node="a") for i in range(10)]
+    doc = dimension_table("node", [], spans)
+    row = doc["rows"][0]
+    assert row["key"] == "a"
+    assert row["latency"]["count"] == 10
+    assert abs(row["latency"]["p50"] - 0.55) < 1e-9
+    assert row["total"] == 10  # span count stands in for the counter
+
+
+def test_op_dimension_falls_back_to_span_name():
+    spans = [span("node.invoke", 0.0, 1.0, span_id="s1", op="post"),
+             span("net.transmit", 0.0, 2.0, span_id="s2")]
+    doc = dimension_table("op", [], spans)
+    keys = [row["key"] for row in doc["rows"]]
+    assert set(keys) == {"post", "net.transmit"}
+
+
+def test_histogram_windows_stand_in_when_no_spans():
+    windows = [
+        window(0, 0.0, 1.0, histograms={
+            "rpc.latency{node=a}": {"count": 3, "mean": 0.2, "p50": 0.2,
+                                    "p95": 0.3, "p99": 0.3, "max": 0.3}}),
+        window(1, 1.0, 2.0, histograms={
+            "rpc.latency{node=a}": {"count": 1, "mean": 0.6, "p50": 0.6,
+                                    "p95": 0.6, "p99": 0.6, "max": 0.6}}),
+    ]
+    doc = dimension_table("node", windows)
+    lat = doc["rows"][0]["latency"]
+    assert lat["count"] == 4
+    assert abs(lat["p50"] - 0.3) < 1e-9  # (0.2*3 + 0.6*1) / 4
+
+
+def test_unknown_dimension_raises():
+    with pytest.raises(KeyError):
+        dimension_table("galaxy")
+
+
+def test_all_tables_covers_every_dimension():
+    docs = all_tables([], [])
+    assert sorted(docs) == sorted(DIMENSIONS)
+
+
+def test_render_includes_skew_line_and_rows():
+    windows = [window(0, 0.0, 1.0, {"net.bytes{link=l1}": 100,
+                                    "net.bytes{link=l2}": 10})]
+    out = io.StringIO()
+    render_dimension_table(dimension_table("link", windows), out=out)
+    text = out.getvalue()
+    assert "hot spots by link" in text
+    assert "l1" in text and "l2" in text
+    assert "zipf skew (link):" in text
+
+
+def test_rows_without_labels_for_dimension_are_ignored():
+    windows = [window(0, 0.0, 1.0, {"net.sent": 50,
+                                    "net.bytes{link=l1}": 9})]
+    doc = dimension_table("node", windows)
+    assert doc["rows"] == []

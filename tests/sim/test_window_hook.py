@@ -1,0 +1,109 @@
+"""The environment's window-boundary hook (timeline substrate)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment
+
+
+def ticker(env, period, count, log=None):
+    for _ in range(count):
+        yield env.timeout(period)
+        if log is not None:
+            log.append(env.now)
+
+
+def test_hook_fires_at_each_boundary():
+    env = Environment()
+    boundaries = []
+    env.set_window_hook(1.0, boundaries.append)
+    env.process(ticker(env, 0.3, 12))
+    env.run()
+    assert boundaries == [1.0, 2.0, 3.0]
+
+
+def test_hook_catches_up_over_quiet_gaps():
+    """One event far in the future fires every boundary it crossed."""
+    env = Environment()
+    boundaries = []
+    env.set_window_hook(1.0, boundaries.append)
+
+    def proc(env):
+        yield env.timeout(4.5)
+
+    env.process(proc(env))
+    env.run()
+    assert boundaries == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_hook_sees_only_events_strictly_before_boundary():
+    """The cut at boundary B observes effects of events with t < B."""
+    env = Environment()
+    seen = []
+    log = []
+    env.set_window_hook(1.0, lambda b: seen.append((b, list(log))))
+    # Events at exactly t=1.0 must NOT be visible to the 1.0 flush.
+    env.process(ticker(env, 0.5, 3, log))
+    env.run()
+    assert seen[0] == (1.0, [0.5])
+
+
+def test_hook_schedules_no_events():
+    """Replay-digest neutrality: hook runs leave the event count alone."""
+    def drive(with_hook):
+        env = Environment()
+        if with_hook:
+            env.set_window_hook(0.25, lambda b: None)
+        env.process(ticker(env, 0.4, 10))
+        env.run()
+        return env.stats()
+
+    assert drive(with_hook=True) == drive(with_hook=False)
+
+
+def test_boundaries_do_not_drift():
+    """Multiplicative boundaries: no accumulating float error."""
+    env = Environment()
+    boundaries = []
+    env.set_window_hook(0.1, boundaries.append)
+    env.process(ticker(env, 0.07, 100))
+    env.run()
+    # Exactly anchor + i*interval — never an accumulated sum.
+    assert boundaries == [0.1 * (i + 1) for i in range(len(boundaries))]
+    assert len(boundaries) >= 69  # ~7.0s of activity at 0.1s windows
+
+
+def test_hook_works_with_step():
+    env = Environment()
+    boundaries = []
+    env.set_window_hook(1.0, boundaries.append)
+    env.process(ticker(env, 0.6, 4))
+    while env.peek() != float("inf"):
+        env.step()
+    assert boundaries == [1.0, 2.0]
+
+
+def test_custom_start_anchor():
+    env = Environment()
+    boundaries = []
+    env.set_window_hook(1.0, boundaries.append, start=0.5)
+    env.process(ticker(env, 0.5, 6))
+    env.run()
+    assert boundaries == [1.5, 2.5]
+
+
+def test_second_hook_rejected_until_cleared():
+    env = Environment()
+    env.set_window_hook(1.0, lambda b: None)
+    with pytest.raises(SimulationError):
+        env.set_window_hook(2.0, lambda b: None)
+    env.clear_window_hook()
+    env.set_window_hook(2.0, lambda b: None)
+
+
+def test_nonpositive_interval_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.set_window_hook(0.0, lambda b: None)
+    with pytest.raises(SimulationError):
+        env.set_window_hook(-1.0, lambda b: None)
