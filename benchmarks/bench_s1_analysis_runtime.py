@@ -1,0 +1,78 @@
+"""S1 — whole-repo analyzer runtime, per pass.
+
+The analyzer's contract is "fast enough to gate every CI run": parse
+the repo once into the shared AST index, then run lint, taint,
+protocol and lock-order over that index.  This bench times each pass
+(plus the index and call-graph builds) over ``src/`` and records the
+breakdown into ``BENCH_PR7.json``.  The hard ceiling asserted here is
+generous (30 s on a cold CI machine); the checked-in figures are the
+real artifact.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_s1_analysis_runtime.py
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict
+
+from benchmarks._util import print_table, record_run, run_once
+from repro.analysis.check import PASS_NAMES, run_passes
+
+REPO_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+#: Total analyzer budget (seconds): generous for cold CI machines.
+BUDGET_S = 30.0
+
+
+def run_experiment() -> Dict[str, Any]:
+    findings, timings, index = run_passes([REPO_SRC])
+    functions = sum(len(module.functions)
+                    for module in index.modules.values())
+    return {
+        "findings": len(findings),
+        "modules": len(index.modules),
+        "functions": functions,
+        "timings": timings,
+    }
+
+
+def test_s1_analysis_runtime(benchmark):
+    result = run_once(benchmark, run_experiment)
+    timings = result["timings"]
+    total = sum(timings.values())
+
+    print_table(
+        "S1: whole-repo analyzer runtime ({} modules, {} functions)"
+        .format(result["modules"], result["functions"]),
+        ["stage", "wall (s)", "share"],
+        [(name, round(timings[name], 4),
+          "{:.0f}%".format(100.0 * timings[name] / total if total
+                           else 0.0))
+         for name in sorted(timings, key=timings.get, reverse=True)]
+        + [("total", round(total, 4), "100%")])
+
+    # The shipped tree gates clean, every pass actually ran, and the
+    # whole sweep stays inside the CI budget.
+    assert result["findings"] == 0, \
+        "shipped tree must be analyzer-clean"
+    for name in PASS_NAMES + ("index", "callgraph"):
+        assert name in timings, "missing stage timing: " + name
+        assert timings[name] >= 0.0
+    assert total < BUDGET_S, \
+        "analyzer took {:.1f}s (budget {}s)".format(total, BUDGET_S)
+
+    metrics = {"{}_s".format(name): round(value, 4)
+               for name, value in timings.items()}
+    metrics.update({
+        "total_s": round(total, 4),
+        "modules": result["modules"],
+        "functions": result["functions"],
+        "findings": result["findings"],
+        "budget_s": BUDGET_S,
+    })
+    record_run("s1_analysis_runtime", metrics=metrics,
+               path="BENCH_PR7.json")

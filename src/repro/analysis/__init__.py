@@ -28,6 +28,17 @@ provides the tooling that turns both properties into checkable ones:
 
       PYTHONPATH=src python -m repro.analysis.replay locks-soft
 
+* **Whole-repo analyzer** (:mod:`repro.analysis.check`) — multi-pass
+  static analysis over one shared AST index and call graph
+  (:mod:`repro.analysis.ir`, :mod:`repro.analysis.callgraph`):
+  interprocedural nondeterminism taint (:mod:`repro.analysis.taint`,
+  ``RPR1xx``), the sim-protocol checker
+  (:mod:`repro.analysis.protocol`, ``RPR2xx``) and the lock-order
+  deadlock detector (:mod:`repro.analysis.lockorder`, ``RPR3xx``),
+  with text/JSON/SARIF output and a fingerprint baseline::
+
+      PYTHONPATH=src python -m repro.analysis.check src/
+
 The workload/replay/races helpers are resolved lazily (PEP 562): this
 package is imported by low-level instrumentation sites (locks, the
 shared store, transports), so its eager imports must stay leaf-only.
@@ -66,6 +77,11 @@ _LAZY = {
     "replay": "repro.analysis.replay",
     "run_isolated": "repro.analysis.replay",
     "trace_digest": "repro.analysis.replay",
+    "RepoIndex": "repro.analysis.ir",
+    "CallGraph": "repro.analysis.callgraph",
+    "run_passes": "repro.analysis.check",
+    "rules_meta": "repro.analysis.check",
+    "to_sarif": "repro.analysis.sarif",
 }
 
 
@@ -80,6 +96,7 @@ def __getattr__(name):
 
 __all__ = [
     "Access",
+    "CallGraph",
     "Conflict",
     "ConflictSanitizer",
     "Finding",
@@ -88,6 +105,7 @@ __all__ = [
     "NoopSanitizer",
     "READ",
     "RULES",
+    "RepoIndex",
     "Rule",
     "WORKLOADS",
     "WRITE",
@@ -100,9 +118,12 @@ __all__ = [
     "lint_file",
     "lint_paths",
     "replay",
+    "rules_meta",
     "run_isolated",
+    "run_passes",
     "run_workload",
     "set_sanitizer",
+    "to_sarif",
     "trace_digest",
     "use_sanitizer",
 ]

@@ -1,0 +1,85 @@
+"""Finding baseline: adopt the analyzer without stopping the world.
+
+A baseline file records fingerprints of known findings so CI fails only
+on *new* ones.  Fingerprints hash the file path, rule code and the
+*text* of the flagged source line (plus an occurrence counter for
+duplicates) — not the line number — so pure line drift above a finding
+does not invalidate the baseline, while any edit to the flagged line
+retires it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.lint import Finding
+
+BASELINE_SCHEMA = "repro-analysis-baseline/1"
+
+
+def fingerprints(findings: Iterable[Finding],
+                 sources: Dict[str, str]) -> Dict[int, str]:
+    """``id(finding) -> fingerprint`` for a deterministic finding list.
+
+    ``sources`` maps path -> module source text (the shared index has
+    it already).  Findings must be passed in their final sorted order:
+    the per-(path, code, line-text) occurrence counter is part of the
+    fingerprint, so order defines which duplicate is which.
+    """
+    counters: Dict[str, int] = {}
+    result: Dict[int, str] = {}
+    for finding in findings:
+        lines = sources.get(finding.path, "").splitlines()
+        text = lines[finding.line - 1].strip() \
+            if 0 < finding.line <= len(lines) else ""
+        key = "|".join((finding.path.replace("\\", "/"), finding.code,
+                        text))
+        occurrence = counters.get(key, 0)
+        counters[key] = occurrence + 1
+        digest = hashlib.sha256(
+            "{}|{}".format(key, occurrence).encode("utf-8")).hexdigest()
+        result[id(finding)] = digest[:24]
+    return result
+
+
+def load(path: str) -> Set[str]:
+    """The fingerprint set from a baseline file (empty if unreadable)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError):
+        return set()
+    if not isinstance(document, dict) \
+            or document.get("schema") != BASELINE_SCHEMA:
+        return set()
+    entries = document.get("findings", [])
+    return {entry["fingerprint"] for entry in entries
+            if isinstance(entry, dict) and "fingerprint" in entry}
+
+
+def write(path: str, findings: List[Finding],
+          prints: Dict[int, str]) -> int:
+    """Write the baseline for ``findings``; returns the entry count."""
+    entries = [{
+        "fingerprint": prints[id(finding)],
+        "code": finding.code,
+        "path": finding.path.replace("\\", "/"),
+        "message": finding.message,
+    } for finding in findings  # repro: allow-RPR004 (identity dict key)
+        if id(finding) in prints]
+    document = {"schema": BASELINE_SCHEMA, "findings": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)
+
+
+def filter_findings(findings: List[Finding], prints: Dict[int, str],
+                    baseline: Optional[Set[str]]) -> List[Finding]:
+    """Drop findings whose fingerprint the baseline already records."""
+    if not baseline:
+        return findings
+    return [finding for finding in findings
+            if prints.get(id(finding)) not in baseline]

@@ -1,0 +1,158 @@
+"""Static call graph over a :class:`~repro.analysis.ir.RepoIndex`.
+
+Call resolution is deliberately conservative: an edge is recorded only
+when the callee can be pinned down — same-module functions, sibling
+nested functions, ``self.``/``cls.`` methods of the enclosing class,
+import-table hits (``from m import f`` / ``import m as alias``), and
+as a last resort a *unique* global match on the simple name.  An
+ambiguous name (two classes defining ``acquire``) resolves to nothing
+rather than to everything, so interprocedural passes built on top
+(taint, lock-order) under-approximate instead of flooding the repo
+with speculative findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from repro.analysis.ir import FunctionInfo, ModuleInfo, RepoIndex, own_body
+
+
+def call_name(node: ast.AST) -> str:
+    """Dotted name of a call target (``""`` when not a simple chain)."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+class CallSite:
+    """One call expression inside a function, possibly resolved."""
+
+    __slots__ = ("caller", "node", "name", "callee")
+
+    def __init__(self, caller: FunctionInfo, node: ast.Call, name: str,
+                 callee: Optional[FunctionInfo]) -> None:
+        self.caller = caller
+        self.node = node
+        self.name = name
+        self.callee = callee
+
+    @property
+    def line(self) -> int:
+        return self.node.lineno
+
+    def __repr__(self) -> str:
+        return "<CallSite {} -> {}>".format(
+            self.caller.qualname,
+            self.callee.qualname if self.callee else self.name + "?")
+
+
+class CallGraph:
+    """Resolved call sites, indexed both ways."""
+
+    def __init__(self, index: RepoIndex) -> None:
+        self.index = index
+        self.calls_from: Dict[str, List[CallSite]] = {}
+        self.calls_to: Dict[str, List[CallSite]] = {}
+        for module in index.modules.values():
+            for info in module.functions:
+                sites = [self._site(info, node)
+                         for node in own_body(info.node)
+                         if isinstance(node, ast.Call)]
+                sites = [site for site in sites if site is not None]
+                self.calls_from[info.qualname] = sites
+                for site in sites:
+                    if site.callee is not None:
+                        self.calls_to.setdefault(
+                            site.callee.qualname, []).append(site)
+
+    # -- resolution --------------------------------------------------------
+
+    def _site(self, caller: FunctionInfo,
+              node: ast.Call) -> Optional[CallSite]:
+        name = call_name(node)
+        if not name:
+            return CallSite(caller, node, "", None)
+        return CallSite(caller, node, name,
+                        self.resolve(caller, node, name))
+
+    def resolve(self, caller: FunctionInfo, node: ast.Call,
+                name: str) -> Optional[FunctionInfo]:
+        module = caller.module
+        parts = name.split(".")
+        if len(parts) == 1:
+            return self._resolve_bare(caller, module, name)
+        if parts[0] in ("self", "cls") and len(parts) == 2 \
+                and caller.cls is not None:
+            method = self.index.functions.get(
+                _class_prefix(caller) + "." + parts[1])
+            if method is not None:
+                return method
+            return self._unique(self.index.methods.get(parts[1]))
+        # Module-qualified calls through the import table:
+        # ``import repro.analysis.lint as lint; lint.lint_paths(...)``.
+        target = module.imports.get(parts[0])
+        if target is not None:
+            resolved = self.index.functions.get(
+                ".".join([target] + parts[1:]))
+            if resolved is not None:
+                return resolved
+        # Attribute call on an arbitrary object: accept only a unique
+        # method (or unique function) of that simple name repo-wide.
+        simple = parts[-1]
+        candidates = list(self.index.methods.get(simple, ())) + \
+            list(self.index.by_name.get(simple, ()))
+        return self._unique(candidates)
+
+    def _resolve_bare(self, caller: FunctionInfo, module: ModuleInfo,
+                      name: str) -> Optional[FunctionInfo]:
+        # Sibling nested function of the same enclosing def.
+        parent = caller.qualname.rsplit(".", 1)[0]
+        sibling = self.index.functions.get(parent + "." + name)
+        if sibling is not None:
+            return sibling
+        # Module-level function of the caller's own module.
+        local = self.index.functions.get(module.name + "." + name)
+        if local is not None:
+            return local
+        # ``from other import helper``.
+        target = module.imports.get(name)
+        if target is not None:
+            imported = self.index.functions.get(target)
+            if imported is not None:
+                return imported
+        # Unique global match on the simple name.
+        return self._unique(self.index.by_name.get(name))
+
+    @staticmethod
+    def _unique(candidates) -> Optional[FunctionInfo]:
+        if candidates and len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    # -- queries -----------------------------------------------------------
+
+    def callees(self, qualname: str) -> List[FunctionInfo]:
+        return [site.callee for site in self.calls_from.get(qualname, ())
+                if site.callee is not None]
+
+    def callers(self, qualname: str) -> List[CallSite]:
+        return list(self.calls_to.get(qualname, ()))
+
+    def __repr__(self) -> str:
+        edges = sum(len(sites) for sites in self.calls_to.values())
+        return "<CallGraph {} functions, {} resolved edges>".format(
+            len(self.calls_from), edges)
+
+
+def _class_prefix(info: FunctionInfo) -> str:
+    """Qualname prefix ``module.Class`` for a method's class."""
+    return info.qualname.rsplit(".", 1)[0]

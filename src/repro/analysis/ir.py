@@ -1,0 +1,227 @@
+"""Shared AST index: parse the repo once, analyse it many times.
+
+Every whole-repo pass (taint, protocol, lock-order — and the per-file
+lint when driven through :mod:`repro.analysis.check`) works from one
+:class:`RepoIndex`: each ``.py`` file is parsed exactly once and its
+functions, classes, import table, suppression comments and fast-path
+markers are tabulated up front.  That is what keeps the analyzer's
+whole-repo wall time linear in repo size rather than linear in
+``passes × files``.
+
+Terminology used by the passes:
+
+* a **function** is any ``def`` — module-level, method or nested
+  (nested functions matter: most simulation actors are closures);
+* a **generator** is a function whose *own* body contains ``yield`` /
+  ``yield from`` (nested defs do not count);
+* a function is **fast-path marked** when a ``# repro: fast-path``
+  comment sits on its ``def`` line, a decorator line, or the line
+  directly above — the annotation :mod:`repro.analysis.protocol`
+  enforces a no-blocking contract on.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+from repro.analysis.lint import iter_python_files, node_span, suppressions
+
+_FAST_PATH_RE = re.compile(r"#\s*repro:\s*fast-path")
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                ast.ClassDef)
+
+
+def own_body(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function's own statements, not those of nested scopes.
+
+    Nested ``def`` / ``class`` / ``lambda`` nodes are yielded (so a
+    pass can see that they exist) but never descended into — their
+    bodies belong to the nested scope's own :class:`FunctionInfo`.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(child, _SCOPE_NODES):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+class FunctionInfo:
+    """One ``def`` anywhere in the repo, with its analysis context."""
+
+    __slots__ = ("qualname", "name", "cls", "module", "node", "lineno",
+                 "end_lineno", "span_start", "is_generator", "fast_path")
+
+    def __init__(self, qualname: str, name: str, cls: Optional[str],
+                 module: "ModuleInfo", node: ast.AST) -> None:
+        self.qualname = qualname
+        self.name = name
+        self.cls = cls
+        self.module = module
+        self.node = node
+        self.span_start, self.end_lineno = node_span(node)
+        self.lineno = node.lineno
+        self.is_generator = any(
+            isinstance(child, (ast.Yield, ast.YieldFrom))
+            for child in own_body(node))
+        # The marker attaches via the contiguous comment block directly
+        # above the def (or a trailing comment on the def line itself).
+        lines = module.source.splitlines()
+        probe = self.span_start - 1
+        while 0 < probe <= len(lines) \
+                and lines[probe - 1].lstrip().startswith("#"):
+            probe -= 1
+        self.fast_path = any(
+            line in module.fast_path_lines
+            for line in range(probe + 1, self.lineno + 1))
+
+    @property
+    def path(self) -> str:
+        return self.module.path
+
+    def __repr__(self) -> str:
+        return "<FunctionInfo {}>".format(self.qualname)
+
+
+class ModuleInfo:
+    """One parsed source file plus its per-line annotations."""
+
+    __slots__ = ("path", "name", "tree", "source", "functions",
+                 "suppressions", "fast_path_lines", "imports", "error")
+
+    def __init__(self, path: str, source: str,
+                 tree: Optional[ast.Module],
+                 error: Optional[SyntaxError] = None) -> None:
+        self.path = path
+        self.name = module_name(path)
+        self.source = source
+        self.tree = tree
+        self.error = error
+        self.functions: List[FunctionInfo] = []
+        self.suppressions = suppressions(source)
+        self.fast_path_lines: Set[int] = {
+            lineno for lineno, line in enumerate(source.splitlines(), 1)
+            if _FAST_PATH_RE.search(line)}
+        #: local name -> dotted target (module or module.symbol).
+        self.imports: Dict[str, str] = {}
+        if tree is not None:
+            self._collect_imports(tree)
+
+    def _collect_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    self.imports[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module \
+                    and node.level == 0:
+                for alias in node.names:
+                    self.imports[alias.asname or alias.name] = \
+                        node.module + "." + alias.name
+
+    def __repr__(self) -> str:
+        return "<ModuleInfo {}>".format(self.name)
+
+
+def module_name(path: str) -> str:
+    """Dotted module name for a file path (``src/`` prefix stripped)."""
+    normalized = path.replace(os.sep, "/")
+    if normalized.endswith(".py"):
+        normalized = normalized[:-3]
+    parts = [part for part in normalized.split("/") if part not in ("", ".")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for anchor in ("src", "site-packages"):
+        if anchor in parts:
+            parts = parts[parts.index(anchor) + 1:]
+            break
+    return ".".join(parts)
+
+
+class RepoIndex:
+    """All parsed modules plus function lookup tables."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: simple name -> every module-level or nested function so named.
+        self.by_name: Dict[str, List[FunctionInfo]] = {}
+        #: method name -> every class method so named.
+        self.methods: Dict[str, List[FunctionInfo]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, paths: Iterable[str]) -> "RepoIndex":
+        index = cls()
+        for path in iter_python_files(paths):
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            index.add_source(source, path)
+        return index
+
+    def add_source(self, source: str, path: str) -> ModuleInfo:
+        """Parse and index one module (the unit tests' entry point)."""
+        try:
+            tree: Optional[ast.Module] = ast.parse(source, filename=path)
+            error: Optional[SyntaxError] = None
+        except SyntaxError as exc:
+            tree, error = None, exc
+        module = ModuleInfo(path, source, tree, error)
+        self.modules[path] = module
+        if tree is not None:
+            self._index_functions(module, tree, module.name, None)
+        return module
+
+    def _index_functions(self, module: ModuleInfo, scope: ast.AST,
+                         prefix: str, cls: Optional[str]) -> None:
+        for child in ast.iter_child_nodes(scope):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = prefix + "." + child.name
+                info = FunctionInfo(qualname, child.name, cls, module,
+                                    child)
+                module.functions.append(info)
+                self.functions[qualname] = info
+                table = self.methods if cls is not None else self.by_name
+                table.setdefault(child.name, []).append(info)
+                self._index_functions(module, child, qualname, None)
+            elif isinstance(child, ast.ClassDef):
+                self._index_functions(module, child,
+                                      prefix + "." + child.name,
+                                      child.name)
+            elif not isinstance(child, ast.Lambda):
+                self._index_functions(module, child, prefix, cls)
+
+    # -- queries -----------------------------------------------------------
+
+    def function_at(self, path: str, lineno: int
+                    ) -> Optional[FunctionInfo]:
+        """The innermost function whose span contains ``lineno``."""
+        module = self.modules.get(path)
+        if module is None:
+            return None
+        best: Optional[FunctionInfo] = None
+        for info in module.functions:
+            if info.span_start <= lineno <= info.end_lineno:
+                if best is None or info.span_start >= best.span_start:
+                    best = info
+        return best
+
+    def generators(self) -> Iterator[FunctionInfo]:
+        for module in self.modules.values():
+            for info in module.functions:
+                if info.is_generator:
+                    yield info
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def __repr__(self) -> str:
+        return "<RepoIndex {} modules, {} functions>".format(
+            len(self.modules), len(self.functions))

@@ -36,7 +36,8 @@ import json
 import os
 import re
 import sys
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Set, Tuple
+from typing import (Any, Callable, Dict, Iterable, Iterator, List,
+                    Optional, Set, Tuple)
 
 RuleCheck = Callable[[ast.Module, str], Iterator[Tuple[ast.AST, str]]]
 
@@ -47,29 +48,80 @@ _SUPPRESS_RE = re.compile(
     r"#\s*repro:\s*allow-((?:RPR\d+)(?:\s*,\s*RPR\d+)*)")
 
 
-class Finding:
-    """One lint hit: a rule violated at a source location."""
+def node_span(node: ast.AST) -> Tuple[int, int]:
+    """(first, last) source line of ``node``, decorators included.
 
-    __slots__ = ("path", "line", "col", "code", "message", "hint")
+    Decorator lines count as part of a ``def``'s span so a suppression
+    comment above the decorators still covers a finding anchored at the
+    ``def`` line.
+    """
+    start = getattr(node, "lineno", 0)
+    end = getattr(node, "end_lineno", None) or start
+    for decorator in getattr(node, "decorator_list", ()):
+        start = min(start, decorator.lineno)
+    return start, end
+
+
+class Finding:
+    """One analyzer hit: a rule violated at a source location.
+
+    ``line``/``col`` anchor the report; ``suppress_from``/``end_line``
+    bound the source span an ``# repro: allow-...`` comment may sit on
+    (multi-line statements, decorated defs).  ``severity`` is ``error``
+    or ``warning`` (the SARIF level).  Interprocedural findings carry a
+    ``chain`` — ordered ``{path, line, note}`` steps from sink back to
+    source.
+    """
+
+    __slots__ = ("path", "line", "col", "code", "message", "hint",
+                 "severity", "end_line", "suppress_from", "chain",
+                 "function")
 
     def __init__(self, path: str, line: int, col: int, code: str,
-                 message: str, hint: str) -> None:
+                 message: str, hint: str, severity: str = "error",
+                 end_line: Optional[int] = None,
+                 suppress_from: Optional[int] = None,
+                 chain: Optional[List[Dict[str, Any]]] = None,
+                 function: Optional[str] = None) -> None:
         self.path = path
         self.line = line
         self.col = col
         self.code = code
         self.message = message
         self.hint = hint
+        self.severity = severity
+        self.end_line = end_line if end_line is not None else line
+        self.suppress_from = suppress_from if suppress_from is not None \
+            else line
+        self.chain = chain
+        self.function = function
 
     def render(self) -> str:
-        return "{}:{}:{}: {} {} [fix: {}]".format(
+        text = "{}:{}:{}: {} {} [fix: {}]".format(
             self.path, self.line, self.col, self.code, self.message,
             self.hint)
+        if self.chain:
+            for step in self.chain:
+                text += "\n    {}:{}: {}".format(
+                    step["path"], step["line"], step["note"])
+        return text
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"path": self.path, "line": self.line, "col": self.col,
+        data = {"path": self.path, "line": self.line, "col": self.col,
                 "code": self.code, "message": self.message,
-                "hint": self.hint}
+                "hint": self.hint, "severity": self.severity}
+        if self.chain is not None:
+            data["chain"] = self.chain
+        if self.function is not None:
+            data["function"] = self.function
+        return data
+
+    def suppressed_by(self, allowed: Dict[int, Set[str]]) -> bool:
+        """Is this finding waived by an allow-comment in its span?"""
+        for lineno in range(self.suppress_from, self.end_line + 1):
+            if self.code in allowed.get(lineno, ()):
+                return True
+        return False
 
     def __repr__(self) -> str:
         return "<Finding {} {}:{}>".format(self.code, self.path, self.line)
@@ -89,9 +141,11 @@ class Rule:
 
     def run(self, tree: ast.Module, path: str) -> Iterator[Finding]:
         for node, message in self.check(tree, path):
+            start, end = node_span(node)
             yield Finding(path, getattr(node, "lineno", 0),
                           getattr(node, "col_offset", 0) + 1,
-                          self.code, message, self.hint)
+                          self.code, message, self.hint,
+                          end_line=end, suppress_from=start)
 
     def __repr__(self) -> str:
         return "<Rule {} {}>".format(self.code, self.summary)
@@ -211,24 +265,52 @@ def check_foreign_rng(tree: ast.Module, path: str
                          "sim.rng.RandomStreams".format(node.func.id))
 
 
+#: Builtins whose result does not depend on their argument's iteration
+#: order — a set (or hash-ordered materialisation of one) consumed by
+#: these is deterministic, so RPR003 must not fire inside them.
+_ORDER_INSENSITIVE = {"sorted", "min", "max", "sum", "len", "any", "all",
+                      "set", "frozenset"}
+
+
+def _order_insensitive_nodes(tree: ast.Module) -> Set[int]:
+    """ids of nodes nested inside an order-insensitive consumer call.
+
+    Covers the ``sorted(set(...))`` / ``sorted(list(set(...)))`` /
+    ``sorted(d.items())`` wrapper family: everything syntactically
+    inside ``sorted(...)``'s arguments is exempt from RPR003 because
+    the wrapper imposes (or ignores) order.
+    """
+    exempt: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id in _ORDER_INSENSITIVE:
+            for arg in node.args:
+                for child in ast.walk(arg):
+                    exempt.add(id(child))
+    return exempt
+
+
 @rule("RPR003", "iteration over an unordered set",
       "wrap the set in sorted(...) before iterating; set order depends "
       "on PYTHONHASHSEED")
 def check_unordered_iteration(tree: ast.Module, path: str
                               ) -> Iterator[Tuple[ast.AST, str]]:
+    exempt = _order_insensitive_nodes(tree)
     for node in ast.walk(tree):
         if isinstance(node, ast.For) and _is_set_expr(node.iter):
             yield node.iter, "for-loop iterates over a set"
         elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
                                ast.GeneratorExp)):
             for generator in node.generators:
-                if _is_set_expr(generator.iter):
+                if _is_set_expr(generator.iter) \
+                        and id(generator.iter) not in exempt:  # repro: allow-RPR004 (identity membership, not ordering)
                     yield generator.iter, \
                         "comprehension iterates over a set"
         elif isinstance(node, ast.Call) and \
                 isinstance(node.func, ast.Name) and \
                 node.func.id in ("list", "tuple", "enumerate") and \
-                node.args and _is_set_expr(node.args[0]):
+                node.args and _is_set_expr(node.args[0]) and \
+                id(node) not in exempt:  # repro: allow-RPR004 (identity membership, not ordering)
             yield node, "{}() materialises a set in hash order".format(
                 node.func.id)
 
@@ -346,22 +428,36 @@ def suppressions(source: str) -> Dict[int, Set[str]]:
     return allowed
 
 
+def lint_tree(tree: ast.Module, path: str) -> List[Finding]:
+    """Run every lint rule over a pre-parsed module (no suppression).
+
+    This is the entry point :mod:`repro.analysis.check` drives so the
+    whole-repo analyzer parses each file exactly once; suppression and
+    sorting are the caller's job there.
+    """
+    findings: List[Finding] = []
+    for lint_rule in RULES:
+        findings.extend(lint_rule.run(tree, path))
+    return findings
+
+
+def syntax_error_finding(path: str, error: SyntaxError) -> Finding:
+    """The RPR000 finding for an unparseable file."""
+    return Finding(path, error.lineno or 0, error.offset or 0,
+                   "RPR000", "file does not parse: {}".format(error.msg),
+                   "fix the syntax error")
+
+
 def lint_source(source: str, path: str,
                 respect_suppressions: bool = True) -> List[Finding]:
     """Lint one module's source text."""
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as error:
-        return [Finding(path, error.lineno or 0, error.offset or 0,
-                        "RPR000", "file does not parse: {}".format(
-                            error.msg), "fix the syntax error")]
-    findings: List[Finding] = []
+        return [syntax_error_finding(path, error)]
     allowed = suppressions(source) if respect_suppressions else {}
-    for lint_rule in RULES:
-        for finding in lint_rule.run(tree, path):
-            if finding.code in allowed.get(finding.line, ()):
-                continue
-            findings.append(finding)
+    findings = [finding for finding in lint_tree(tree, path)
+                if not finding.suppressed_by(allowed)]
     findings.sort(key=lambda f: (f.line, f.col, f.code))
     return findings
 

@@ -8,7 +8,12 @@ while surfacing every conflict, tickle and notification locks sit in
 between::
 
     PYTHONPATH=src python -m repro.analysis.races
-    PYTHONPATH=src python -m repro.analysis.races --seed 7 --json
+    PYTHONPATH=src python -m repro.analysis.races --seed 7 --format json
+
+Exit status is non-zero when the *hard* lock style reports unresolved
+conflicts: hard locks serialise every access by construction, so any
+happens-before residue there is a sanitizer or lock-protocol regression
+rather than CSCW-interesting behaviour — CI treats it as a failure.
 """
 
 from __future__ import annotations
@@ -67,6 +72,14 @@ def render(results: Dict[str, Dict[str, Any]], out=None) -> None:
               "(happens-before).\n")
 
 
+def hard_conflicts(results: Dict[str, Dict[str, Any]]) -> int:
+    """Unresolved conflicts under the hard style (should be zero)."""
+    hard = results.get("hard")
+    if hard is None:
+        return 0
+    return int(hard["conflicts"]["total"])
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.races",
@@ -76,15 +89,27 @@ def main(argv=None) -> int:
                         help="experiment seed (default 31)")
     parser.add_argument("--styles", nargs="+", default=list(STYLES),
                         choices=list(STYLES), help="styles to sweep")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default=None, dest="fmt",
+                        help="output format (default text)")
     parser.add_argument("--json", action="store_true",
-                        help="emit the full per-style results as JSON")
+                        help="alias for --format json")
     options = parser.parse_args(argv)
+    fmt = options.fmt or ("json" if options.json else "text")
     results = conflict_sweep(seed=options.seed, styles=options.styles)
-    if options.json:
-        print(json.dumps(results, indent=2, sort_keys=True))
+    leaked = hard_conflicts(results)
+    if fmt == "json":
+        document = dict(results)
+        document["_meta"] = {"seed": options.seed,
+                             "hard_conflicts": leaked,
+                             "ok": leaked == 0}
+        print(json.dumps(document, indent=2, sort_keys=True))
     else:
         render(results)
-    return 0
+        if leaked:
+            print("ERROR: hard locks left {} conflict(s) unresolved — "
+                  "sanitizer or lock-protocol regression".format(leaked))
+    return 1 if leaked else 0
 
 
 if __name__ == "__main__":

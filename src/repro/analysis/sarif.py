@@ -1,0 +1,116 @@
+"""SARIF 2.1.0 output for the whole-repo analyzer.
+
+Emits the structural subset GitHub code scanning consumes: one run, a
+tool driver with a rule table, and one result per finding with a
+physical location, a stable partial fingerprint (shared with the
+baseline file) and the source→sink chain as ``relatedLocations``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.lint import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+TOOL_NAME = "repro-analysis"
+TOOL_URI = "https://example.invalid/repro/docs/analysis.md"
+
+#: Finding severity -> SARIF result level.
+_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def _uri(path: str) -> str:
+    """Repo-relative forward-slash URI for a findings path."""
+    return os.path.relpath(path).replace(os.sep, "/")
+
+
+def _location(path: str, line: int, col: int = 1,
+              end_line: Optional[int] = None) -> Dict[str, Any]:
+    region: Dict[str, Any] = {"startLine": max(line, 1),
+                              "startColumn": max(col, 1)}
+    if end_line is not None and end_line >= line:
+        region["endLine"] = end_line
+    return {"physicalLocation": {
+        "artifactLocation": {"uri": _uri(path)},
+        "region": region,
+    }}
+
+
+def rule_table(rules: Dict[str, Tuple[str, str, str]]
+               ) -> List[Dict[str, Any]]:
+    """SARIF ``tool.driver.rules`` from ``code -> (summary, hint,
+    severity)``."""
+    table = []
+    for code in sorted(rules):
+        summary, hint, severity = rules[code]
+        table.append({
+            "id": code,
+            "name": code,
+            "shortDescription": {"text": summary},
+            "help": {"text": hint},
+            "defaultConfiguration": {
+                "level": _LEVELS.get(severity, "error")},
+        })
+    return table
+
+
+def to_sarif(findings: Iterable[Finding],
+             rules: Dict[str, Tuple[str, str, str]],
+             fingerprints: Optional[Dict[int, str]] = None,
+             timings: Optional[Dict[str, float]] = None
+             ) -> Dict[str, Any]:
+    """The complete SARIF document for one analyzer run.
+
+    ``fingerprints`` optionally maps ``id(finding)`` to the baseline
+    fingerprint recorded under ``partialFingerprints``.
+    """
+    rule_list = rule_table(rules)
+    rule_index = {rule["id"]: position
+                  for position, rule in enumerate(rule_list)}
+    results: List[Dict[str, Any]] = []
+    for finding in findings:
+        result: Dict[str, Any] = {
+            "ruleId": finding.code,
+            "level": _LEVELS.get(finding.severity, "error"),
+            "message": {"text": finding.message
+                        + " [fix: " + finding.hint + "]"},
+            "locations": [_location(finding.path, finding.line,
+                                    finding.col, finding.end_line)],
+        }
+        if finding.code in rule_index:
+            result["ruleIndex"] = rule_index[finding.code]
+        if finding.chain:
+            result["relatedLocations"] = [
+                dict(_location(step["path"], step["line"]),
+                     message={"text": step["note"]})
+                for step in finding.chain]
+        # repro: allow-RPR004 (identity dict key, not ordering)
+        if fingerprints and id(finding) in fingerprints:
+            result["partialFingerprints"] = {
+                "reproAnalysis/v1": fingerprints[id(finding)]}
+        results.append(result)
+    run: Dict[str, Any] = {
+        "tool": {"driver": {
+            "name": TOOL_NAME,
+            "informationUri": TOOL_URI,
+            "rules": rule_list,
+        }},
+        "results": results,
+        "columnKind": "utf16CodeUnits",
+    }
+    if timings is not None:
+        run["invocations"] = [{
+            "executionSuccessful": True,
+            "properties": {"passTimingsSeconds": {
+                name: round(value, 4)
+                for name, value in sorted(timings.items())}},
+        }]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [run],
+    }

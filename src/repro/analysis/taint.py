@@ -1,0 +1,359 @@
+"""Interprocedural nondeterminism taint: helpers that launder hazards.
+
+The per-statement lint (RPR001-003) sees a wall-clock read, foreign RNG
+or hash-ordered materialisation only at the line it happens.  A helper
+that *returns* such a value hands the nondeterminism to every caller —
+and the call site itself looks innocent::
+
+    def stamp():                 # helper in a far-away module
+        return time.time()       # RPR001 fires here...
+
+    def log_op(self, op):
+        self.entries.append((stamp(), op))   # ...but the flow lands here
+
+This pass propagates taint through function returns over the shared
+call graph and reports each **sink** — a call to a taint-returning
+function from a function that is not itself one — with the full
+source→sink call chain.
+
+========  =============================================================
+code      hazard reaching the sink
+========  =============================================================
+RPR101    wall-clock read laundered through helper return(s)
+RPR102    foreign RNG draw laundered through helper return(s)
+RPR103    hash-ordered set materialisation laundered through returns
+========  =============================================================
+
+Scope notes: a source that carries a justified ``# repro: allow-RPR00x``
+suppression does not taint (the waiver covers its flow too), the
+blessed RNG home :data:`repro.analysis.lint.RNG_HOME` never taints, and
+call sites that discard the result (bare expression statements) are not
+sinks.  Propagation is return-value only — by-reference parameter
+mutation is out of scope — so every report comes with a concrete chain.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import CallGraph, CallSite, call_name
+from repro.analysis.ir import FunctionInfo, RepoIndex, own_body
+from repro.analysis.lint import (
+    Finding,
+    RNG_HOME,
+    _WALL_CLOCK_DATETIME,
+    _WALL_CLOCK_TIME,
+    _is_set_expr,
+    _posix,
+    _rng_import_aliases,
+    node_span,
+)
+
+WALL_CLOCK = "wall-clock"
+FOREIGN_RNG = "foreign-rng"
+HASH_ORDER = "hash-order"
+
+#: kind -> (code, message fragment, hint)
+KINDS: Dict[str, Tuple[str, str, str]] = {
+    WALL_CLOCK: (
+        "RPR101", "a wall-clock read",
+        "take timestamps from Environment.now and pass them in; the sim "
+        "clock is the only clock"),
+    FOREIGN_RNG: (
+        "RPR102", "a foreign RNG draw",
+        "draw from a named RandomStreams stream and pass the value (or "
+        "the stream) in"),
+    HASH_ORDER: (
+        "RPR103", "a hash-ordered set materialisation",
+        "sort before returning; hash order varies with PYTHONHASHSEED"),
+}
+
+#: Lint code whose line-suppression also waives the taint source.
+_SOURCE_WAIVER = {WALL_CLOCK: "RPR001", FOREIGN_RNG: "RPR002",
+                  HASH_ORDER: "RPR003"}
+
+
+class Witness:
+    """Why a function's return value is tainted.
+
+    Either a direct ``source`` expression (``callee is None``) or a
+    call to an already-tainted ``callee`` whose value flows to the
+    return.
+    """
+
+    __slots__ = ("kind", "node", "callee", "note")
+
+    def __init__(self, kind: str, node: ast.AST,
+                 callee: Optional[FunctionInfo], note: str) -> None:
+        self.kind = kind
+        self.node = node
+        self.callee = callee
+        self.note = note
+
+
+class _Summary:
+    """Local dataflow result for one function."""
+
+    __slots__ = ("direct", "return_calls")
+
+    def __init__(self, direct: Optional[Witness],
+                 return_calls: List[Tuple[ast.Call, FunctionInfo]]) -> None:
+        #: Direct source reaching a return, if any.
+        self.direct = direct
+        #: Resolved calls whose result flows into a return.
+        self.return_calls = return_calls
+
+
+def _source_kind(node: ast.AST, rng_aliases: Set[str],
+                 rng_home: bool) -> Optional[Tuple[str, str]]:
+    """(kind, description) when ``node`` is a nondeterminism source."""
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if isinstance(node.func, ast.Attribute):
+            base, attr = node.func.value, node.func.attr
+            if isinstance(base, ast.Name) and base.id == "time" \
+                    and attr in _WALL_CLOCK_TIME:
+                return WALL_CLOCK, "time.{}()".format(attr)
+            if attr in _WALL_CLOCK_DATETIME and (
+                    (isinstance(base, ast.Name)
+                     and base.id in ("datetime", "date"))
+                    or (isinstance(base, ast.Attribute)
+                        and base.attr in ("datetime", "date"))):
+                return WALL_CLOCK, "{}()".format(name or attr)
+        if not rng_home:
+            if name.startswith("random."):
+                return FOREIGN_RNG, "{}()".format(name)
+            if isinstance(node.func, ast.Name) \
+                    and node.func.id in rng_aliases:
+                return FOREIGN_RNG, "{}() (imported from random)".format(
+                    node.func.id)
+        if isinstance(node.func, ast.Name) \
+                and node.func.id in ("list", "tuple") \
+                and node.args and _is_set_expr(node.args[0]):
+            return HASH_ORDER, "{}(set(...))".format(node.func.id)
+    return None
+
+
+class TaintAnalysis:
+    """Whole-repo return-taint fixpoint plus sink reporting."""
+
+    def __init__(self, index: RepoIndex, graph: CallGraph) -> None:
+        self.index = index
+        self.graph = graph
+        #: qualname -> Witness for every taint-returning function.
+        self.tainted: Dict[str, Witness] = {}
+        self._summaries: Dict[str, _Summary] = {}
+        self._fixpoint()
+
+    # -- local pass --------------------------------------------------------
+
+    def _summarise(self, info: FunctionInfo) -> _Summary:
+        cached = self._summaries.get(info.qualname)
+        if cached is not None:
+            return cached
+        rng_aliases = _rng_import_aliases(info.module.tree) \
+            if info.module.tree is not None else set()
+        rng_home = _posix(info.path).endswith(RNG_HOME)
+        suppressed = info.module.suppressions
+        sites = {id(site.node): site
+                 for site in self.graph.calls_from.get(info.qualname, ())
+                 if site.callee is not None}
+
+        tainted_names: Dict[str, Witness] = {}
+        direct: Optional[Witness] = None
+        return_calls: List[Tuple[ast.Call, FunctionInfo]] = []
+
+        def expr_witness(expr: ast.AST) -> Optional[Witness]:
+            """Direct-source or tainted-name witness inside ``expr``."""
+            for node in ast.walk(expr):
+                found = _source_kind(node, rng_aliases, rng_home)
+                if found is not None:
+                    kind, description = found
+                    waiver = _SOURCE_WAIVER[kind]
+                    line = getattr(node, "lineno", 0)
+                    if waiver in suppressed.get(line, ()):
+                        continue
+                    return Witness(kind, node, None,
+                                   "source: " + description)
+                if isinstance(node, ast.Name) \
+                        and node.id in tainted_names:
+                    return tainted_names[node.id]
+            return None
+
+        def expr_calls(expr: ast.AST) -> List[Tuple[ast.Call,
+                                                    FunctionInfo]]:
+            """Resolved call sites appearing inside ``expr``."""
+            found = []
+            for node in ast.walk(expr):
+                site = sites.get(id(node))
+                if site is not None:
+                    found.append((node, site.callee))
+            return found
+
+        for stmt in _statements(info.node):
+            targets: List[str] = []
+            value: Optional[ast.AST] = None
+            if isinstance(stmt, ast.Assign):
+                targets = [t.id for t in stmt.targets
+                           if isinstance(t, ast.Name)]
+                value = stmt.value
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                if isinstance(stmt.target, ast.Name):
+                    targets = [stmt.target.id]
+                value = stmt.value
+            elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                witness = expr_witness(stmt.value)
+                if witness is not None and direct is None:
+                    direct = witness
+                return_calls.extend(expr_calls(stmt.value))
+                continue
+            else:
+                continue
+            if value is None:
+                continue
+            witness = expr_witness(value)
+            calls = expr_calls(value)
+            tainted_call = next(
+                ((node, callee) for node, callee in calls
+                 if callee.qualname in self.tainted), None)
+            for name in targets:
+                if witness is not None:
+                    tainted_names[name] = witness
+                elif tainted_call is not None:
+                    # Taint pends on the callee; re-checked each round.
+                    node, callee = tainted_call
+                    tainted_names[name] = Witness(
+                        self.tainted[callee.qualname].kind, node,
+                        callee, "via " + callee.name + "()")
+                else:
+                    tainted_names.pop(name, None)
+
+        return _Summary(direct, return_calls)
+
+    # -- fixpoint ----------------------------------------------------------
+
+    def _fixpoint(self) -> None:
+        functions = [info for module in self.index.modules.values()
+                     for info in module.functions]
+        for _ in range(32):
+            changed = False
+            self._summaries.clear()
+            for info in functions:
+                if info.qualname in self.tainted:
+                    continue
+                summary = self._summarise(info)
+                self._summaries[info.qualname] = summary
+                witness = summary.direct
+                if witness is None:
+                    for node, callee in summary.return_calls:
+                        root = self.tainted.get(callee.qualname)
+                        if root is not None:
+                            witness = Witness(root.kind, node, callee,
+                                              "via " + callee.name + "()")
+                            break
+                if witness is not None:
+                    self.tainted[info.qualname] = witness
+                    changed = True
+            if not changed:
+                break
+
+    # -- reporting ---------------------------------------------------------
+
+    def chain(self, qualname: str) -> List[Dict[str, object]]:
+        """Witness steps from ``qualname`` down to the root source."""
+        steps: List[Dict[str, object]] = []
+        seen: Set[str] = set()
+        current: Optional[str] = qualname
+        while current is not None and current not in seen:
+            seen.add(current)
+            witness = self.tainted.get(current)
+            info = self.index.functions.get(current)
+            if witness is None or info is None:
+                break
+            if witness.callee is None:
+                steps.append({
+                    "path": info.path,
+                    "line": getattr(witness.node, "lineno", info.lineno),
+                    "note": "{} in {}()".format(witness.note, info.name),
+                })
+                return steps
+            steps.append({
+                "path": info.path,
+                "line": getattr(witness.node, "lineno", info.lineno),
+                "note": "{}() returns a value from {}()".format(
+                    info.name, witness.callee.name),
+            })
+            current = witness.callee.qualname
+        return steps
+
+    def findings(self) -> List[Finding]:
+        results: List[Finding] = []
+        for module in self.index.modules.values():
+            for info in module.functions:
+                if info.qualname in self.tainted:
+                    continue  # middle helper; its own callers report
+                discarded = _discarded_calls(info.node)
+                for site in self.graph.calls_from.get(info.qualname, ()):
+                    if site.callee is None \
+                            or site.callee.qualname not in self.tainted \
+                            or id(site.node) in discarded:  # repro: allow-RPR004 (identity membership)
+                        continue
+                    root = self._root(site.callee.qualname)
+                    code, fragment, hint = KINDS[root.kind]
+                    chain = [{
+                        "path": info.path,
+                        "line": site.line,
+                        "note": "sink: {}() uses the value of {}()".format(
+                            info.name, site.callee.name),
+                    }] + self.chain(site.callee.qualname)
+                    start, end = node_span(site.node)
+                    results.append(Finding(
+                        info.path, site.line,
+                        site.node.col_offset + 1, code,
+                        "{}() returns {} ({} call-chain step{})".format(
+                            site.callee.name, fragment, len(chain),
+                            "" if len(chain) == 1 else "s"),
+                        hint, end_line=end, suppress_from=start,
+                        chain=chain, function=info.qualname))
+        return results
+
+    def _root(self, qualname: str) -> Witness:
+        witness = self.tainted[qualname]
+        seen = {qualname}
+        while witness.callee is not None \
+                and witness.callee.qualname not in seen:
+            seen.add(witness.callee.qualname)
+            nxt = self.tainted.get(witness.callee.qualname)
+            if nxt is None:
+                break
+            witness = nxt
+        return witness
+
+
+def _statements(func_node: ast.AST) -> Iterable[ast.stmt]:
+    """The function's own statements in source order (no nested defs)."""
+    return [node for node in _ordered_own_body(func_node)
+            if isinstance(node, ast.stmt)]
+
+
+def _ordered_own_body(node: ast.AST) -> Iterable[ast.AST]:
+    ordered: List[ast.AST] = []
+    for child in ast.iter_child_nodes(node):
+        ordered.append(child)
+        if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda, ast.ClassDef)):
+            ordered.extend(_ordered_own_body(child))
+    return ordered
+
+
+def _discarded_calls(func_node: ast.AST) -> Set[int]:
+    """ids of Call nodes whose value a bare expression statement drops."""
+    return {id(stmt.value) for stmt in own_body(func_node)
+            if isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Call)}
+
+
+def analyse(index: RepoIndex, graph: CallGraph) -> List[Finding]:
+    """Run the taint pass and return its findings."""
+    return TaintAnalysis(index, graph).findings()

@@ -155,6 +155,8 @@ class Network:
         # pure per-packet overhead.
         Process(self.env, self._carry(packet))
 
+    # repro: fast-path — per-packet hot loop; no 'with ...request()'
+    # claims here (repro.analysis.protocol enforces RPR204).
     def _carry(self, packet: Packet):
         env = self.env
         tracer = self._tracer if self._tracer is not None else get_tracer()

@@ -1,0 +1,79 @@
+"""Lock-order fixtures: ABBA cycle, RPC-while-holding, clean patterns.
+
+The cycle finding anchors at the acquisition completing the first edge
+of the cycle (alphabetically-first lock held).  Never import this.
+"""
+
+
+class Worker:
+    def __init__(self, table, rpc):
+        self.table = table
+        self.rpc = rpc
+
+    def forward(self):
+        a = self.table.acquire("alpha", "w1")
+        b = self.table.acquire("beta", "w1")  # expect: RPR301
+        self.table.release(b)
+        self.table.release(a)
+
+    def backward(self):
+        b = self.table.acquire("beta", "w2")
+        a = self.table.acquire("alpha", "w2")
+        self.table.release(a)
+        self.table.release(b)
+
+    def chatty(self):
+        grant = self.table.acquire("gamma", "w3")
+        self.rpc.invoke("peer", "op", {})  # expect: RPR302
+        grant.release()
+
+    def disciplined(self):
+        a = self.table.acquire("alpha", "w4")
+        self.table.release(a)
+        b = self.table.acquire("beta", "w4")  # negative: not nested
+        self.table.release(b)
+
+    def consistent_pair(self):
+        first = self.table.acquire("delta", "w5")
+        second = self.table.acquire("epsilon", "w5")  # negative: one order
+        self.table.release(second)
+        self.table.release(first)
+
+    def also_consistent(self):
+        first = self.table.acquire("delta", "w6")
+        second = self.table.acquire("epsilon", "w6")  # negative: same order
+        self.table.release(second)
+        self.table.release(first)
+
+    def scoped(self):
+        with self.table.acquire("zeta", "w7"):
+            pass
+        with self.table.acquire("eta", "w7"):  # negative: with released
+            pass
+
+    def polite(self):
+        grant = self.table.acquire("theta", "w8")
+        grant.release()
+        self.rpc.invoke("peer", "op", {})  # negative: released first
+
+
+class Nested:
+    """Acquire-through-callee: the edge crosses a resolved call."""
+
+    def __init__(self, table):
+        self.table = table
+
+    def outer(self):
+        grant = self.table.acquire("iota", "n1")
+        self._inner()  # expect: RPR301
+        grant.release()
+
+    def _inner(self):
+        grant = self.table.acquire("kappa", "n1")
+        grant.release()
+
+    def reversed_pair(self):
+        grant = self.table.acquire("kappa", "n2")
+        inner = self.table.acquire("iota", "n2")
+        inner.release()
+        grant.release()

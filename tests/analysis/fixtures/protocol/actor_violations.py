@@ -1,0 +1,91 @@
+"""Protocol fixtures: generator actors breaking the kernel contract.
+
+Each positive line is marked ``# expect: CODE``; unmarked lines are
+negatives the checker must stay silent on.  Never import this module.
+"""
+
+
+def impatient(env):
+    env.timeout(5)  # expect: RPR201
+    yield env.timeout(1)
+
+
+def stuck(env):
+    yield env.timeout(1)
+    yield  # expect: RPR202
+
+
+def chatty(env):
+    yield env.timeout(1)
+    yield 42  # expect: RPR202
+
+
+def double(env, event):
+    yield env.timeout(1)
+    event.succeed(1)
+    event.succeed(2)  # expect: RPR203
+
+
+def branchy(env, event):
+    yield env.timeout(1)
+    if env.now > 5.0:
+        event.fail(ValueError("late"))
+    event.succeed(3)  # expect: RPR203
+
+
+def loop_double(env, event):
+    for _ in range(3):
+        yield env.timeout(1)
+        event.succeed(True)  # expect: RPR203
+
+
+def reentrant(env):
+    yield env.timeout(1)
+    env.run()  # expect: RPR204
+
+
+def early_exit(env, event):
+    yield env.timeout(1)
+    if env.now > 5.0:
+        event.fail(ValueError("late"))  # negative: path returns
+        return
+    event.succeed(3)  # negative: fail path already exited
+
+
+def fresh_each_round(env, factory):
+    for _ in range(3):
+        done = factory()  # negative: fresh event per iteration
+        yield env.timeout(1)
+        done.succeed(True)
+
+
+def make_generator(env):
+    if env is None:
+        return iter(())
+    return _make(env)
+    yield  # negative: the return-then-yield generator idiom
+
+
+def _make(env):
+    yield env.timeout(1)
+
+
+def plain_iterator(items):
+    for item in items:
+        yield item  # negative: not an actor (no env reference)
+
+
+def tolerated(env):
+    yield env.timeout(1)
+    yield  # repro: allow-RPR202  # suppressed: RPR202
+
+
+# repro: fast-path — per-packet hot loop, no context-manager claims.
+def hot_claim(table, packet):
+    with table.request(packet.src):  # expect: RPR204
+        return packet
+
+
+def cool_claim(table, packet):
+    with table.request(packet.src):  # negative: not marked fast-path
+        return packet

@@ -1,0 +1,26 @@
+"""RPR003 regression fixture: order-insensitive wrappers are exempt.
+
+``sorted(...)`` (and min/max/sum/len/any/all/set/frozenset) impose or
+ignore order, so set materialisation *inside their arguments* is not a
+hash-order hazard.  These were historically reported; keep them silent.
+"""
+
+
+def collapsed(members, weights):
+    ordered = sorted(list(set(members)))  # negative: sorted wrapper
+    ranked = sorted([m for m in set(members)])  # negative: sorted wrapper
+    table = sorted(dict(weights).items())  # negative: items, not a set
+    first = min(list(set(members)))  # negative: min is order-insensitive
+    count = len(list(set(members) | set(weights)))  # negative: len wrapper
+    return ordered, ranked, table, first, count
+
+
+def still_flagged(members):
+    names = list(set(members))  # expect: RPR003
+    pairs = list(enumerate(set(members)))  # expect: RPR003
+    copies = [m for m in set(members)]  # expect: RPR003
+    return names, pairs, copies
+
+
+def tolerated(members):
+    return list(set(members))  # repro: allow-RPR003  # suppressed: RPR003

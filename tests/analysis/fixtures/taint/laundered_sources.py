@@ -1,0 +1,56 @@
+"""Taint fixtures: nondeterminism laundered through helper returns.
+
+The per-line linter sees ``time.time()`` only where it textually sits;
+the taint pass must follow the value through helper returns and report
+the *call site* in the consuming function, with the source->sink chain.
+Kept in a subdirectory so the per-file lint fixture tests (which assert
+RPR0xx markers exactly) never load it.  Never import this module.
+"""
+
+import random
+import time
+
+
+def _now():
+    return time.time()  # the RPR101 source (lint flags RPR001 here)
+
+
+def _stamp():
+    return _now()  # middle helper: tainted but not reported
+
+
+def _jitter():
+    return random.random() * 2  # the RPR102 source
+
+
+def _members_list(members):
+    return list(set(members))  # the RPR103 source
+
+
+def record(log):
+    log.append(_stamp())  # expect: RPR101
+    log.append(_jitter())  # expect: RPR102
+    return log
+
+
+def fanout(members):
+    for member in _members_list(members):  # expect: RPR103
+        print(member)
+
+
+def fire_and_forget():
+    _stamp()  # negative: result discarded, nothing laundered
+    return None
+
+
+def _sanctioned(members):
+    return list(set(members))  # repro: allow-RPR003 (waived source)
+
+
+def tolerated(members):
+    return len(_sanctioned(members))  # negative: waived at the source
+
+
+def silenced(log):
+    log.append(_stamp())  # repro: allow-RPR101  # suppressed: RPR101
+    return log

@@ -1,0 +1,242 @@
+"""Tests for the unified analyzer CLI: passes, formats, baseline, gate."""
+
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis.check import PASS_NAMES, main, rules_meta, run_passes
+from repro.analysis.ir import RepoIndex
+
+HERE = os.path.dirname(__file__)
+REPO_SRC = os.path.normpath(
+    os.path.join(HERE, os.pardir, os.pardir, "src", "repro"))
+
+DIRTY = """
+import time
+
+
+def _stamp():
+    return time.time()
+
+
+def consumer(log, env):
+    log.append(_stamp())
+    env.timeout(3)
+    yield env.timeout(1)
+
+
+def grabby(table):
+    a = table.acquire("one", "w")
+    b = table.acquire("two", "w")
+    table.release(b)
+    table.release(a)
+
+
+def grabbier(table):
+    b = table.acquire("two", "w")
+    a = table.acquire("one", "w")
+    table.release(a)
+    table.release(b)
+"""
+
+
+@pytest.fixture
+def dirty_tree(tmp_path):
+    pkg = tmp_path / "src"
+    pkg.mkdir()
+    (pkg / "dirty.py").write_text(textwrap.dedent(DIRTY),
+                                  encoding="utf-8")
+    return str(pkg)
+
+
+def _codes(findings):
+    return sorted({finding.code for finding in findings})
+
+
+# -- run_passes -------------------------------------------------------------
+
+def test_all_passes_fire_on_the_dirty_tree(dirty_tree):
+    findings, timings, _ = run_passes([dirty_tree])
+    codes = _codes(findings)
+    assert "RPR001" in codes   # lint: the wall-clock read itself
+    assert "RPR101" in codes   # taint: laundered through _stamp()
+    assert "RPR201" in codes   # protocol: discarded timeout
+    assert "RPR301" in codes   # lockorder: ABBA cycle
+    for name in PASS_NAMES:
+        assert name in timings
+    assert "index" in timings and "callgraph" in timings
+
+
+def test_pass_subset_runs_only_requested(dirty_tree):
+    findings, timings, _ = run_passes([dirty_tree], ["protocol"])
+    assert _codes(findings) == ["RPR201"]
+    assert "lint" not in timings and "taint" not in timings
+
+
+def test_unknown_pass_raises(dirty_tree):
+    with pytest.raises(ValueError):
+        run_passes([dirty_tree], ["spelling"])
+
+
+def test_rules_meta_covers_every_emitted_code(dirty_tree):
+    findings, _, _ = run_passes([dirty_tree])
+    meta = rules_meta()
+    assert {finding.code for finding in findings} <= set(meta)
+    for code, (summary, hint, severity) in meta.items():
+        assert summary and hint
+        assert severity in ("error", "warning")
+
+
+def test_shipped_tree_is_clean():
+    findings, _, _ = run_passes([REPO_SRC])
+    assert findings == []
+
+
+# -- the CLI ----------------------------------------------------------------
+
+def test_cli_exit_codes(dirty_tree, capsys):
+    assert main([dirty_tree]) == 1
+    assert "RPR101" in capsys.readouterr().out
+    assert main([REPO_SRC]) == 0
+
+
+def test_cli_unknown_pass_exits_2(dirty_tree, capsys):
+    assert main([dirty_tree, "--passes", "nope"]) == 2
+    assert "unknown pass" in capsys.readouterr().err
+
+
+def test_cli_list_passes(capsys):
+    assert main(["--list-passes"]) == 0
+    out = capsys.readouterr().out
+    for name in PASS_NAMES:
+        assert name in out
+    assert "RPR301" in out
+
+
+def test_cli_json_format(dirty_tree, capsys):
+    assert main([dirty_tree, "--format", "json"]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["baselined"] == 0
+    codes = {entry["code"] for entry in document["findings"]}
+    assert "RPR101" in codes
+    chained = next(entry for entry in document["findings"]
+                   if entry["code"] == "RPR101")
+    assert chained["chain"][-1]["note"]
+    assert set(document["timings"]) >= set(PASS_NAMES)
+
+
+def test_cli_timings_flag(dirty_tree, capsys):
+    main([dirty_tree, "--timings"])
+    assert "pass timings:" in capsys.readouterr().out
+
+
+# -- SARIF ------------------------------------------------------------------
+
+def _assert_sarif_shape(document):
+    assert document["version"] == "2.1.0"
+    assert document["$schema"].endswith("sarif-schema-2.1.0.json")
+    assert isinstance(document["runs"], list) and len(document["runs"]) == 1
+    run = document["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"]
+    rule_ids = [rule["id"] for rule in driver["rules"]]
+    assert rule_ids == sorted(rule_ids)
+    for rule in driver["rules"]:
+        assert rule["shortDescription"]["text"]
+        assert rule["defaultConfiguration"]["level"] in (
+            "error", "warning", "note")
+    for result in run["results"]:
+        assert result["ruleId"] in rule_ids
+        assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+        assert result["level"] in ("error", "warning", "note")
+        assert result["message"]["text"]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"]
+        assert "\\" not in location["artifactLocation"]["uri"]
+        assert location["region"]["startLine"] >= 1
+        assert result["partialFingerprints"]["reproAnalysis/v1"]
+
+
+def test_cli_sarif_output(dirty_tree, tmp_path, capsys):
+    out = tmp_path / "analysis.sarif"
+    assert main([dirty_tree, "--format", "sarif",
+                 "--out", str(out)]) == 1
+    document = json.loads(out.read_text(encoding="utf-8"))
+    _assert_sarif_shape(document)
+    run = document["runs"][0]
+    assert run["results"], "dirty tree must produce results"
+    taint_result = next(result for result in run["results"]
+                        if result["ruleId"] == "RPR101")
+    related = taint_result["relatedLocations"]
+    assert related and related[-1]["message"]["text"]
+    timings = run["invocations"][0]["properties"]["passTimingsSeconds"]
+    assert set(timings) >= set(PASS_NAMES)
+
+
+def test_sarif_empty_run_still_validates(tmp_path, capsys):
+    out = tmp_path / "clean.sarif"
+    assert main([REPO_SRC, "--format", "sarif", "--out", str(out)]) == 0
+    document = json.loads(out.read_text(encoding="utf-8"))
+    _assert_sarif_shape(document)
+    assert document["runs"][0]["results"] == []
+
+
+# -- baseline ---------------------------------------------------------------
+
+def test_baseline_roundtrip(dirty_tree, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert main([dirty_tree, "--write-baseline", str(baseline)]) == 0
+    recorded = json.loads(baseline.read_text(encoding="utf-8"))
+    assert recorded["schema"] == baseline_mod.BASELINE_SCHEMA
+    assert recorded["findings"]
+    # With the baseline active the same tree gates clean.
+    assert main([dirty_tree, "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "baselined" in out
+
+
+def test_new_findings_break_through_the_baseline(dirty_tree, tmp_path,
+                                                 capsys):
+    baseline = tmp_path / "baseline.json"
+    assert main([dirty_tree, "--write-baseline", str(baseline)]) == 0
+    extra = os.path.join(dirty_tree, "fresh.py")
+    with open(extra, "w", encoding="utf-8") as handle:
+        handle.write("import time\n\n\ndef f():\n"
+                     "    return time.time()\n")
+    assert main([dirty_tree, "--baseline", str(baseline)]) == 1
+    assert "fresh.py" in capsys.readouterr().out
+
+
+def test_missing_baseline_is_silently_ignored(dirty_tree, tmp_path):
+    missing = tmp_path / "nope.json"
+    assert main([dirty_tree, "--baseline", str(missing)]) == 1
+
+
+def test_fingerprints_are_line_drift_stable():
+    index = RepoIndex()
+    source = "import time\n\n\ndef f():\n    return time.time()\n"
+    index.add_source(source, "src/repro/drifty.py")
+    findings, _, index = run_passes([], index=index)
+    prints = baseline_mod.fingerprints(
+        findings, {path: module.source
+                   for path, module in index.modules.items()})
+    shifted = RepoIndex()
+    shifted.add_source("# a new comment line\n" + source,
+                       "src/repro/drifty.py")
+    shifted_findings, _, shifted = run_passes([], index=shifted)
+    shifted_prints = baseline_mod.fingerprints(
+        shifted_findings, {path: module.source
+                           for path, module in shifted.modules.items()})
+    assert sorted(prints.values()) == sorted(shifted_prints.values())
+
+
+# -- syntax errors ----------------------------------------------------------
+
+def test_unparseable_file_reports_rpr000(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n", encoding="utf-8")
+    assert main([str(tmp_path)]) == 1
+    assert "RPR000" in capsys.readouterr().out

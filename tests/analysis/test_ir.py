@@ -1,0 +1,209 @@
+"""Tests for the shared AST index and the call graph built on it."""
+
+import os
+import textwrap
+
+from repro.analysis.callgraph import CallGraph, call_name
+from repro.analysis.ir import RepoIndex, module_name, own_body
+
+HERE = os.path.dirname(__file__)
+FIXTURES = os.path.join(HERE, "fixtures")
+
+
+def _index(**sources):
+    index = RepoIndex()
+    for name, source in sorted(sources.items()):
+        index.add_source(textwrap.dedent(source),
+                         "src/" + name.replace(".", "/") + ".py")
+    return index
+
+
+# -- module / function indexing --------------------------------------------
+
+def test_module_name_strips_src_anchor():
+    assert module_name("src/repro/net/network.py") == "repro.net.network"
+    assert module_name("src/repro/sim/__init__.py") == "repro.sim"
+
+
+def test_functions_get_dotted_qualnames():
+    index = _index(**{"repro.thing": """
+        def top():
+            pass
+
+        class Box:
+            def method(self):
+                def nested():
+                    pass
+                return nested
+        """})
+    assert "repro.thing.top" in index.functions
+    assert "repro.thing.Box.method" in index.functions
+    assert "repro.thing.Box.method.nested" in index.functions
+    method = index.functions["repro.thing.Box.method"]
+    assert method.cls == "Box"
+    assert index.functions["repro.thing.top"].cls is None
+
+
+def test_generator_detection_ignores_nested_defs():
+    index = _index(**{"repro.gen": """
+        def outer():
+            def inner():
+                yield 1
+            return inner
+
+        def actor(env):
+            yield env.timeout(1)
+        """})
+    assert not index.functions["repro.gen.outer"].is_generator
+    assert index.functions["repro.gen.outer.inner"].is_generator
+    assert index.functions["repro.gen.actor"].is_generator
+    names = {info.qualname for info in index.generators()}
+    assert names == {"repro.gen.outer.inner", "repro.gen.actor"}
+
+
+def test_own_body_does_not_descend_into_nested_scopes():
+    import ast
+    tree = ast.parse("def f():\n    a = 1\n    def g():\n        b = 2\n")
+    func = tree.body[0]
+    names = {node.id for node in own_body(func)
+             if isinstance(node, ast.Name)}
+    assert "a" in names
+    assert "b" not in names
+
+
+def test_fast_path_marker_attaches_through_comment_block():
+    index = _index(**{"repro.fast": """
+        # repro: fast-path — hot loop, keep allocations out.
+        # second comment line between marker and def.
+        def hot():
+            pass
+
+        def cold():
+            pass
+        """})
+    assert index.functions["repro.fast.hot"].fast_path
+    assert not index.functions["repro.fast.cold"].fast_path
+
+
+def test_syntax_error_module_is_kept_with_error():
+    index = _index(**{"repro.broken": "def broken(:\n"})
+    module = index.modules["src/repro/broken.py"]
+    assert module.tree is None
+    assert module.error is not None
+    assert module.functions == []
+
+
+def test_function_at_returns_innermost_span():
+    index = _index(**{"repro.spans": """
+        def outer():
+            x = 1
+
+            def inner():
+                return 2
+            return inner
+        """})
+    path = "src/repro/spans.py"
+    assert index.function_at(path, 3).qualname == "repro.spans.outer"
+    assert index.function_at(path, 6).qualname == "repro.spans.outer.inner"
+    assert index.function_at(path, 1) is None
+
+
+def test_import_table_tracks_aliases():
+    index = _index(**{"repro.imports": """
+        import json
+        import os.path as osp
+        from repro.sim.rng import Rng
+        """})
+    imports = index.modules["src/repro/imports.py"].imports
+    assert imports["json"] == "json"
+    assert imports["osp"] == "os.path"
+    assert imports["Rng"] == "repro.sim.rng.Rng"
+
+
+def test_build_walks_the_fixture_tree():
+    index = RepoIndex.build([os.path.join(FIXTURES, "taint")])
+    assert any(path.endswith("laundered_sources.py")
+               for path in index.modules)
+
+
+# -- call graph resolution --------------------------------------------------
+
+def test_call_name_renders_dotted_chains():
+    import ast
+    call = ast.parse("self.table.acquire('k')").body[0].value
+    assert call_name(call) == "self.table.acquire"
+    computed = ast.parse("get_thing().run()").body[0].value
+    assert call_name(computed) == ""
+
+
+def test_bare_name_resolves_within_module():
+    index = _index(**{"repro.mod": """
+        def helper():
+            return 1
+
+        def caller():
+            return helper()
+        """})
+    graph = CallGraph(index)
+    callees = [info.qualname for info in graph.callees("repro.mod.caller")]
+    assert callees == ["repro.mod.helper"]
+    callers = [site.caller.qualname
+               for site in graph.callers("repro.mod.helper")]
+    assert callers == ["repro.mod.caller"]
+
+
+def test_self_method_resolves_to_same_class():
+    index = _index(**{"repro.cls": """
+        class Widget:
+            def _step(self):
+                return 1
+
+            def run(self):
+                return self._step()
+
+        class Other:
+            def _step(self):
+                return 2
+        """})
+    graph = CallGraph(index)
+    callees = [info.qualname
+               for info in graph.callees("repro.cls.Widget.run")]
+    assert callees == ["repro.cls.Widget._step"]
+
+
+def test_imported_function_resolves_across_modules():
+    index = _index(**{
+        "repro.util": """
+            def shared():
+                return 1
+            """,
+        "repro.user": """
+            from repro.util import shared
+
+            def caller():
+                return shared()
+            """,
+    })
+    graph = CallGraph(index)
+    callees = [info.qualname
+               for info in graph.callees("repro.user.caller")]
+    assert callees == ["repro.util.shared"]
+
+
+def test_ambiguous_names_stay_unresolved():
+    index = _index(**{
+        "repro.one": """
+            def poll():
+                return 1
+            """,
+        "repro.two": """
+            def poll():
+                return 2
+            """,
+        "repro.three": """
+            def caller(thing):
+                return thing.poll()
+            """,
+    })
+    graph = CallGraph(index)
+    assert graph.callees("repro.three.caller") == []

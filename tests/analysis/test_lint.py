@@ -137,3 +137,77 @@ def test_cli_list_rules(capsys):
     out = capsys.readouterr().out
     for lint_rule in RULES:
         assert lint_rule.code in out
+
+
+# -- suppression spans: multi-line statements, decorated defs ---------------
+
+def test_suppression_on_closing_line_of_multiline_statement():
+    """The allow comment may sit lines below the flagged expression."""
+    source = ("import time\n"
+              "\n"
+              "\n"
+              "def f():\n"
+              "    return time.time(\n"
+              "        # a wrapped call spanning several lines\n"
+              "    )  # repro: allow-RPR001\n")
+    assert lint_source(source, "span.py") == []
+    findings = lint_source(source, "span.py",
+                           respect_suppressions=False)
+    assert [(f.line, f.code) for f in findings] == [(5, "RPR001")]
+
+
+def test_suppression_above_multiline_statement():
+    source = ("import time\n"
+              "\n"
+              "\n"
+              "def f():\n"
+              "    # repro: allow-RPR001\n"
+              "    return time.time(\n"
+              "    )\n")
+    assert lint_source(source, "span.py") == []
+
+
+def test_suppression_does_not_leak_past_its_span():
+    """The span comment stops at the statement (plus the legacy
+    one-line carryover); later findings still report."""
+    source = ("import time\n"
+              "\n"
+              "\n"
+              "def f():\n"
+              "    a = time.time(\n"
+              "    )  # repro: allow-RPR001\n"
+              "\n"
+              "    b = time.time()\n"
+              "    return a, b\n")
+    findings = lint_source(source, "span.py")
+    assert [(f.line, f.code) for f in findings] == [(8, "RPR001")]
+
+
+def test_suppression_covers_decorated_def():
+    """A def-anchored finding is silenced from above the decorators."""
+    import ast
+
+    from repro.analysis import lint as lint_mod
+
+    @lint_mod.rule("RPR998", "every def (test-only rule)", "none")
+    def _flag_defs(tree, path):
+        for node in ast.walk(tree):
+            if isinstance(node, ast.FunctionDef):
+                yield node, "a def"
+
+    try:
+        flagged = ("@staticmethod\n"
+                   "def g():\n"
+                   "    pass\n")
+        findings = lint_source(flagged, "deco.py")
+        assert [(f.line, f.code) for f in findings] == [(2, "RPR998")]
+        silenced = ("# repro: allow-RPR998\n"
+                    "@staticmethod\n"
+                    "@classmethod\n"
+                    "def g():\n"
+                    "    pass\n")
+        assert lint_source(silenced, "deco.py") == []
+    finally:
+        lint_mod.RULES[:] = [r for r in lint_mod.RULES
+                             if r.code != "RPR998"]
+    assert all(r.code != "RPR998" for r in lint_mod.RULES)

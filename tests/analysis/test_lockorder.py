@@ -1,0 +1,112 @@
+"""Tests for the static lock-order deadlock detector (RPR3xx)."""
+
+import os
+import re
+import textwrap
+
+from repro.analysis import lockorder
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.ir import RepoIndex
+
+HERE = os.path.dirname(__file__)
+FIXTURE_DIR = os.path.join(HERE, "fixtures", "lockorder")
+FIXTURE = os.path.join(FIXTURE_DIR, "abba.py")
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*(RPR\d+)")
+
+
+def _markers(path, regex):
+    marked = set()
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            match = regex.search(line)
+            if match:
+                marked.add((lineno, match.group(1)))
+    return marked
+
+
+def _analyse(paths):
+    index = RepoIndex.build(paths)
+    return index, lockorder.analyse(index, CallGraph(index))
+
+
+def _analyse_source(source, path="src/repro/locky.py"):
+    index = RepoIndex()
+    index.add_source(textwrap.dedent(source), path)
+    return lockorder.analyse(index, CallGraph(index))
+
+
+def test_fixture_findings_match_markers():
+    _, findings = _analyse([FIXTURE_DIR])
+    assert {(f.line, f.code) for f in findings} == _markers(FIXTURE,
+                                                            _EXPECT_RE)
+
+
+def test_cycle_findings_carry_edge_witness_chains():
+    _, findings = _analyse([FIXTURE_DIR])
+    cycles = [f for f in findings if f.code == "RPR301"]
+    assert cycles
+    for finding in cycles:
+        assert "lock-order cycle:" in finding.message
+        assert finding.chain and len(finding.chain) >= 2
+        assert all({"path", "line", "note"} <= set(step)
+                   for step in finding.chain)
+
+
+def test_rpc_while_holding_is_a_warning():
+    _, findings = _analyse([FIXTURE_DIR])
+    rpc = [f for f in findings if f.code == "RPR302"]
+    assert len(rpc) == 1
+    assert rpc[0].severity == "warning"
+    assert "holding table[gamma]" in rpc[0].message
+
+
+def test_same_lock_reacquire_reports_self_cycle():
+    findings = _analyse_source("""
+        def grabby(table):
+            first = table.acquire("shared", "a")
+            second = table.acquire("shared", "a")
+            table.release(second)
+            table.release(first)
+        """)
+    assert [f.code for f in findings] == ["RPR301"]
+    assert "table[shared] -> table[shared]" in findings[0].message
+
+
+def test_dynamic_key_self_edges_are_left_to_the_runtime():
+    findings = _analyse_source("""
+        def transfer(table, src, dst):
+            a = table.acquire(src, "txn")
+            b = table.acquire(dst, "txn")
+            table.release(b)
+            table.release(a)
+        """)
+    assert findings == []
+
+
+def test_release_breaks_the_hold():
+    findings = _analyse_source("""
+        def sequential(table):
+            a = table.acquire("one", "w")
+            table.release(a)
+            b = table.acquire("two", "w")
+            table.release(b)
+
+        def reversed_sequential(table):
+            b = table.acquire("two", "w")
+            table.release(b)
+            a = table.acquire("one", "w")
+            table.release(a)
+        """)
+    assert findings == []
+
+
+def test_computed_receivers_are_skipped():
+    findings = _analyse_source("""
+        def tricky(key):
+            grant = get_table().acquire(key)
+            grant.release()
+            other = get_table().acquire(key)
+            other.release()
+        """)
+    assert findings == []

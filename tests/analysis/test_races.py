@@ -8,7 +8,9 @@ them.
 """
 
 import io
+import json
 
+from repro.analysis import races
 from repro.analysis.hb import get_sanitizer
 from repro.analysis.races import conflict_sweep, main, render
 from repro.concurrency.locks import HARD, NOTIFICATION, SOFT, TICKLE
@@ -67,3 +69,34 @@ def test_cli_exits_zero(capsys):
     assert main(["--styles", HARD, SOFT]) == 0
     out = capsys.readouterr().out
     assert HARD in out and SOFT in out
+
+
+def test_cli_format_json_includes_gate_meta(capsys):
+    assert main(["--styles", HARD, "--format", "json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["_meta"]["ok"] is True
+    assert document["_meta"]["hard_conflicts"] == 0
+    assert HARD in document
+
+
+def test_cli_json_alias_still_works(capsys):
+    assert main(["--styles", HARD, "--json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert "_meta" in document
+
+
+def test_cli_exits_nonzero_on_hard_conflicts(monkeypatch, capsys):
+    leaky = {
+        HARD: {"conflicts": {"write-write": 1, "read-write": 0,
+                             "total": 1},
+               "accesses": [None] * 4,
+               "lock_counters": {},
+               "wait": {"mean": 0.0}},
+    }
+    monkeypatch.setattr(races, "conflict_sweep",
+                        lambda seed, styles: leaky)
+    assert main(["--styles", HARD]) == 1
+    assert "regression" in capsys.readouterr().out
+    assert main(["--styles", HARD, "--format", "json"]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["_meta"]["ok"] is False

@@ -1,0 +1,136 @@
+"""Tests for the interprocedural nondeterminism taint pass."""
+
+import os
+import re
+import textwrap
+
+from repro.analysis import taint
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.ir import RepoIndex
+
+HERE = os.path.dirname(__file__)
+FIXTURE_DIR = os.path.join(HERE, "fixtures", "taint")
+FIXTURE = os.path.join(FIXTURE_DIR, "laundered_sources.py")
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*(RPR\d+)")
+_SUPPRESSED_RE = re.compile(r"#\s*suppressed:\s*(RPR\d+)")
+
+
+def _markers(path, regex):
+    marked = set()
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            match = regex.search(line)
+            if match:
+                marked.add((lineno, match.group(1)))
+    return marked
+
+
+def _analyse(paths):
+    index = RepoIndex.build(paths)
+    findings = taint.analyse(index, CallGraph(index))
+    return index, findings
+
+
+def _suppressed_filtered(index, findings):
+    return [finding for finding in findings
+            if not finding.suppressed_by(
+                index.modules[finding.path].suppressions)]
+
+
+def test_fixture_findings_match_markers():
+    index, findings = _analyse([FIXTURE_DIR])
+    kept = _suppressed_filtered(index, findings)
+    assert {(f.line, f.code) for f in kept} == _markers(FIXTURE,
+                                                        _EXPECT_RE)
+
+
+def test_suppression_comment_silences_the_sink():
+    index, findings = _analyse([FIXTURE_DIR])
+    raw = {(f.line, f.code) for f in findings}
+    expected = _markers(FIXTURE, _EXPECT_RE) \
+        | _markers(FIXTURE, _SUPPRESSED_RE)
+    assert raw == expected
+
+
+def test_chain_walks_back_to_the_source():
+    index, findings = _analyse([FIXTURE_DIR])
+    with open(FIXTURE, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    source_line = next(lineno for lineno, line in enumerate(lines, 1)
+                       if line.strip().startswith("return time.time()"))
+    clock = [f for f in findings if f.code == "RPR101"]
+    assert clock, "no RPR101 finding"
+    for finding in clock:
+        assert finding.chain, "interprocedural finding carries no chain"
+        assert len(finding.chain) >= 2
+        assert finding.chain[-1]["line"] == source_line
+        assert all({"path", "line", "note"} <= set(step)
+                   for step in finding.chain)
+
+
+def test_chain_renders_in_text_output():
+    _, findings = _analyse([FIXTURE_DIR])
+    finding = next(f for f in findings if f.code == "RPR101")
+    rendered = finding.render()
+    assert "\n    " in rendered  # chain steps are indented follow-ups
+    assert "time" in rendered
+
+
+def test_waived_source_does_not_taint():
+    """A source line carrying its own allow comment taints nothing."""
+    index = RepoIndex()
+    index.add_source(textwrap.dedent("""
+        def _sanctioned():
+            import time
+            return time.time()  # repro: allow-RPR001
+
+        def consumer(log):
+            log.append(_sanctioned())
+        """), "src/repro/waived.py")
+    findings = taint.analyse(index, CallGraph(index))
+    assert findings == []
+
+
+def test_rng_home_module_is_exempt():
+    index = RepoIndex()
+    index.add_source(textwrap.dedent("""
+        import random
+
+        def draw():
+            return random.random()
+        """), "src/repro/sim/rng.py")
+    index.add_source(textwrap.dedent("""
+        from repro.sim.rng import draw
+
+        def consumer(log):
+            log.append(draw())
+        """), "src/repro/user.py")
+    findings = taint.analyse(index, CallGraph(index))
+    assert [f.code for f in findings] == []
+
+
+def test_taint_propagates_through_two_hops():
+    index = RepoIndex()
+    index.add_source(textwrap.dedent("""
+        import time
+
+        def _raw():
+            return time.time()
+
+        def _middle():
+            value = _raw()
+            return value
+
+        def _top():
+            return _middle()
+
+        def consumer(log):
+            log.append(_top())
+        """), "src/repro/hops.py")
+    findings = taint.analyse(index, CallGraph(index))
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.code == "RPR101"
+    assert finding.function == "repro.hops.consumer"
+    assert len(finding.chain) >= 3
