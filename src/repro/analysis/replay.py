@@ -56,6 +56,28 @@ def _diff(name: str, seed: int, out) -> None:
             out.write("  {}: {!r} != {!r}\n".format(key, a, b))
 
 
+def _localize(name: str, seed: int, out) -> None:
+    """Name the first divergent flight epoch and point at the localizer.
+
+    Two more runs under the flight recorder (imported lazily — the
+    happy path never touches it) compare chained per-epoch digests of
+    kernel decisions; the divergence CLI can then re-journal just that
+    epoch and print the first mismatched record with causal context.
+    """
+    from repro.obs.divergence import compare_digests
+
+    report = compare_digests(name, seed)
+    if report["diverged"]:
+        out.write("first divergent flight epoch: {} (of {} / {})\n"
+                  .format(report["epoch"], *report["epochs"]))
+        out.write("localize it: PYTHONPATH=src python -m "
+                  "repro.obs.divergence {} --seed {}\n".format(name, seed))
+    else:
+        out.write("flight digests agree ({} epoch(s)): the divergence "
+                  "is outside the journalled channels (dispatch/rng/"
+                  "net/locks/actors)\n".format(report["epochs"][0]))
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.replay",
@@ -88,6 +110,7 @@ def main(argv=None) -> int:
     print("REPLAY MISMATCH: {} (seed {}) diverged between runs".format(
         options.workload, options.seed))
     _diff(options.workload, options.seed, sys.stdout)
+    _localize(options.workload, options.seed, sys.stdout)
     return 1
 
 

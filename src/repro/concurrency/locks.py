@@ -29,6 +29,14 @@ from repro.obs.metrics import get_metrics
 from repro.obs.tracer import get_tracer
 from repro.sim import Counter, Environment, Event
 
+
+def _flight_of(env: Environment):
+    """The environment's flight recorder when lock journaling is on."""
+    flight = env._flight
+    if flight is not None and flight.journal_locks:
+        return flight
+    return None
+
 SHARED = "shared"
 EXCLUSIVE = "exclusive"
 
@@ -155,6 +163,10 @@ class LockTable:
         # Hand-off edge: whoever acquires this key next is causally
         # ordered after everything the releasing holder did.
         get_sanitizer().release("lock:" + grant.key, grant.owner)
+        flight = _flight_of(self.env)
+        if flight is not None:
+            flight.record_lock("release", grant.key, grant.owner,
+                               grant.mode, self.style)
         self._refresh_conflicts(grant.key)
         self._promote(grant.key)
 
@@ -282,6 +294,11 @@ class LockTable:
         get_sanitizer().acquire("lock:" + key, owner)
         grant = LockGrant(self, key, owner, mode, self.env.now)
         self._held.setdefault(key, []).append(grant)
+        flight = _flight_of(self.env)
+        if flight is not None:
+            flight.record_lock(
+                "grant", key, owner, mode, self.style,
+                span=getattr(self.env.active_process, "span", None))
         return grant
 
     def _grant_soft(self, key: str, owner: str, mode: str,
@@ -315,12 +332,16 @@ class LockTable:
         if not holders:
             return False
         if all(now - h.last_activity >= self.tickle_grace for h in holders):
+            flight = _flight_of(self.env)
             for holder in list(holders):
                 holder.revoked = True
                 holders.remove(holder)
                 # A takeover is a forced hand-off: the taker is ordered
                 # after the revoked holder's work so far.
                 get_sanitizer().release("lock:" + key, holder.owner)
+                if flight is not None:
+                    flight.record_lock("revoke", key, holder.owner,
+                                       holder.mode, self.style)
                 if self.on_takeover is not None:
                     self.on_takeover(holder, owner)
             grant = self._install(key, owner, mode)

@@ -197,6 +197,12 @@ class Network:
         # its head, every hop of every packet would otherwise still pay
         # the span + label allocation — the dominant trace cost at scale.
         record_hops = span.is_recording
+        # Flight journal (repro.obs.flight): hop and drop records, bound
+        # to this environment at its construction.  None — the default —
+        # costs one check per hop/drop.
+        flight = env._flight
+        if flight is not None and not flight.journal_net:
+            flight = None
         # `bound` (not self._bound) below: another packet may rebind the
         # network to a different registry between our yields, but these
         # handles stay tied to the registry this packet resolved.
@@ -244,19 +250,27 @@ class Network:
             channel.users.remove(claim)
             if channel.queue:
                 channel._grant_waiters()
+            # Loss attribution mirrors Link.drops_packet: a downed link
+            # drops without drawing the RNG; otherwise one draw decides,
+            # and the drawn value splits baseline "loss" from fault-
+            # injected "impairment" (draws landing in the _extra_loss
+            # band) so drop_stats() tells the two apart.
+            drop_reason = None
             if not link.up:
-                dropped = True
+                drop_reason = "link-down"
             else:
                 probability = link.loss + link._extra_loss
-                dropped = probability > 0 and \
-                    link._rng.random() < min(probability, 1.0)
-            if dropped:
+                if probability > 0:
+                    draw = link._rng.random()
+                    if draw < min(probability, 1.0):
+                        drop_reason = "loss" if draw < link.loss \
+                            else "impairment"
+            if drop_reason is not None:
                 link.stats.drops += 1
                 if hop is not None:
                     hop.set_status("dropped")
                     hop.finish(at=env._now)
-                self._drop(packet, "loss" if link.up else "link-down",
-                           metrics, span)
+                self._drop(packet, drop_reason, metrics, span, link=link)
                 return
             delay = link.latency * link._latency_scale
             if link.jitter > 0:
@@ -282,6 +296,9 @@ class Network:
                     metrics.bind_counter("net.bytes", link=link.label)
             bytes_counter.add(wire_size)
             packet.hops += 1
+            if flight is not None:
+                flight.record_hop(link.label, node, packet.src, packet.dst,
+                                  packet.port, span=hop)
             node = link.b if node == link.a else link.a
             if hop is not None:
                 hop.finish(at=env._now)
@@ -305,7 +322,7 @@ class Network:
 
     def _drop(self, packet: Packet, reason: str,
               metrics: Optional[MetricsRegistry] = None,
-              span=None) -> None:
+              span=None, link=None) -> None:
         self.counters.incr("dropped")
         self.counters.incr("dropped:" + reason)
         self._drop_reasons[reason] = self._drop_reasons.get(reason, 0) + 1
@@ -313,6 +330,17 @@ class Network:
             metrics = self._metrics if self._metrics is not None \
                 else get_metrics()
         metrics.counter("net.drops", reason=reason).add()
+        if link is not None:
+            # Per-link, per-reason attribution: the "drops" column in
+            # the dashboard's link table rolls this up.
+            metrics.counter("net.link.drops", link=link.label,
+                            reason=reason).add()
+        flight = self.env._flight
+        if flight is not None and flight.journal_net:
+            flight.record_drop(reason,
+                               link.label if link is not None else None,
+                               packet.src, packet.dst, packet.port,
+                               span=span)
         if span is not None:
             span.set_status("dropped:" + reason)
             span.set_attribute("drop_reason", reason)
@@ -321,8 +349,13 @@ class Network:
             self.on_drop(packet, reason)
 
     def drop_stats(self) -> Dict[str, int]:
-        """Drops per reason (``loss``, ``link-down``, ``no-route``,
-        ``no-host``) since the network was created."""
+        """Drops per reason (``loss``, ``impairment``, ``link-down``,
+        ``no-route``, ``no-host``) since the network was created.
+
+        ``loss`` is the link's configured baseline; ``impairment``
+        attributes drops whose Bernoulli draw landed in the extra
+        probability a fault injection (loss burst) added on top.
+        """
         return dict(self._drop_reasons)
 
     def total_link_bytes(self) -> int:

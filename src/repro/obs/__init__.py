@@ -33,6 +33,14 @@ substrate.  This package provides it for every layer of the middleware:
   per-node/link/actor/op hot-spot tables with Zipf-skew coefficients;
   :func:`critical_summary` extracts per-trace critical paths.  The
   ``python -m repro.obs.dashboard`` CLI fronts all three.
+* **Flight recorder** — :class:`FlightRecorder` journals kernel-level
+  decisions (dispatch, RNG draws, packet hops/drops, lock transitions,
+  actor lifecycles) into a bounded ring with chained per-epoch digests;
+  ``python -m repro.obs.divergence`` binary-searches two runs' digests
+  to the first divergent epoch and prints the first mismatched record
+  with causal context.  :class:`BlackBox` dumps the last flight
+  records, metrics and open spans when a workload raises or an SLO
+  burn alert fires.
 
 Quick start::
 
@@ -46,11 +54,24 @@ Quick start::
 """
 
 from repro.obs.export import (
+    META_SCHEMA,
     chrome_trace,
     dump_chrome_trace,
     dump_jsonl,
     load_jsonl,
     load_jsonl_tolerant,
+    meta_record,
+)
+from repro.obs.flight import (
+    NOOP_FLIGHT,
+    BlackBox,
+    FlightRecorder,
+    NoopFlightRecorder,
+    disable_flight,
+    enable_flight,
+    get_flight,
+    set_flight,
+    use_flight,
 )
 from repro.obs.metrics import (
     CounterInstrument,
@@ -81,12 +102,17 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "BlackBox",
     "CounterInstrument",
+    "FlightRecorder",
     "GaugeInstrument",
     "HistogramInstrument",
+    "META_SCHEMA",
     "MetricsRegistry",
+    "NOOP_FLIGHT",
     "NOOP_SPAN",
     "NOOP_TRACER",
+    "NoopFlightRecorder",
     "NoopSpan",
     "NoopTracer",
     "NullRegistry",
@@ -101,21 +127,27 @@ __all__ = [
     "critical_path",
     "critical_summary",
     "dimension_table",
+    "disable_flight",
     "disable_tracing",
     "dump_chrome_trace",
     "dump_jsonl",
+    "enable_flight",
     "enable_tracing",
     "extract",
+    "get_flight",
     "get_metrics",
     "get_tracer",
     "inject",
     "load_jsonl",
     "load_jsonl_tolerant",
     "load_windows",
+    "meta_record",
     "render_profile",
-    "zipf_skew",
+    "set_flight",
     "set_metrics",
     "set_tracer",
+    "use_flight",
     "use_metrics",
     "use_tracer",
+    "zipf_skew",
 ]

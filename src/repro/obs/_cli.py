@@ -76,6 +76,41 @@ def load_dump_records(path: str, err=None
     return records
 
 
+def extract_meta(records: Iterable[Dict[str, Any]]
+                 ) -> Optional[Dict[str, Any]]:
+    """The dump's ``{"kind": "meta"}`` provenance record, if present.
+
+    Dumps written before the meta record existed simply return ``None``
+    — every loader treats it as optional.
+    """
+    for record in records:
+        if record.get("kind") == "meta":
+            return record
+    return None
+
+
+def describe_meta(meta: Optional[Dict[str, Any]]) -> Optional[str]:
+    """One human-readable provenance line for a meta record."""
+    if not meta:
+        return None
+    parts = []
+    for key in ("workload", "seed", "schema"):
+        if key in meta:
+            parts.append("{}={}".format(key, meta[key]))
+    span = meta.get("sim_time")
+    if isinstance(span, (list, tuple)) and len(span) == 2:
+        parts.append("sim_time=[{:.4g}s, {:.4g}s]".format(*span))
+    if meta.get("black_box"):
+        parts.append("black_box reason={}".format(
+            meta.get("reason", "?")))
+    for key in sorted(meta):
+        if key in ("kind", "schema", "workload", "seed", "sim_time",
+                   "black_box", "reason", "flight", "error"):
+            continue
+        parts.append("{}={}".format(key, meta[key]))
+    return "meta: " + " ".join(parts) if parts else "meta: (empty)"
+
+
 def parse_rendered(rendered: str) -> Tuple[str, Dict[str, str]]:
     """Split a rendered instrument key back into (name, labels).
 

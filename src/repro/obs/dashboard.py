@@ -31,7 +31,12 @@ import json
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.obs._cli import load_dump_records, render_table
+from repro.obs._cli import (
+    describe_meta,
+    extract_meta,
+    load_dump_records,
+    render_table,
+)
 from repro.obs.critical import critical_summary, render_critical
 from repro.obs.tables import DIMENSIONS, all_tables, render_dimension_table
 from repro.obs.timeline import load_windows
@@ -56,10 +61,13 @@ def _gather_workload(name: str, seed: int):
 def dashboard_data(windows: List[Dict[str, Any]],
                    spans: List[Dict[str, Any]],
                    dims: Sequence[str],
-                   critical: bool = False) -> Dict[str, Any]:
+                   critical: bool = False,
+                   meta: Optional[Dict[str, Any]] = None
+                   ) -> Dict[str, Any]:
     """The dashboard as one JSON-safe document."""
     duration = windows[-1]["end"] - windows[0]["start"] if windows else 0.0
     return {
+        "meta": meta,
         "windows": len(windows),
         "duration": duration,
         "spans": len(spans),
@@ -74,6 +82,9 @@ def render_dashboard(data: Dict[str, Any],
                      timeline: bool = False,
                      per_trace: bool = False) -> None:
     out = out if out is not None else sys.stdout
+    meta_line = describe_meta(data.get("meta"))
+    if meta_line is not None:
+        out.write(meta_line + "\n")
     out.write("{} window(s) covering {:.4g}s, {} span(s)\n".format(
         data["windows"], data["duration"], data["spans"]))
     if timeline and windows:
@@ -144,14 +155,17 @@ def main(argv: Sequence[str] = None) -> int:
         except KeyError as exc:
             sys.stderr.write("error: {}\n".format(exc.args[0]))
             return 2
+        meta = {"workload": options.workload, "seed": options.seed}
     else:
         records = load_dump_records(options.dump)
         if records is None:
             return 2
         windows = load_windows(records)
         spans = [r for r in records if r.get("kind") == "span"]
+        meta = extract_meta(records)
 
-    data = dashboard_data(windows, spans, dims, critical=options.critical)
+    data = dashboard_data(windows, spans, dims, critical=options.critical,
+                          meta=meta)
     try:
         if options.fmt == "json":
             print(json.dumps(data, sort_keys=True, indent=2))

@@ -20,6 +20,9 @@ from repro.obs.tracer import NoopTracer, Tracer, get_tracer
 #: Chrome trace timestamps are microseconds; simulated time is seconds.
 MICROSECONDS = 1e6
 
+#: Schema tag stamped on the leading ``{"kind": "meta"}`` dump record.
+META_SCHEMA = "repro-obs/1"
+
 
 def span_record(span: Span) -> Dict[str, Any]:
     """One JSONL row for a span."""
@@ -28,22 +31,43 @@ def span_record(span: Span) -> Dict[str, Any]:
     return record
 
 
+def meta_record(**fields: Any) -> Dict[str, Any]:
+    """The leading dump record: provenance for whoever reads it later.
+
+    Conventional fields: ``seed``, ``workload``, ``sim_time`` (a
+    ``[start, end]`` pair of simulated seconds).  Anything JSON-safe
+    may ride along; ``kind`` and ``schema`` are stamped automatically.
+    """
+    record: Dict[str, Any] = {"kind": "meta", "schema": META_SCHEMA}
+    record.update(fields)
+    return record
+
+
 def dump_jsonl(path: str, tracer: Optional[Tracer] = None,
                metrics: Optional[MetricsRegistry] = None,
-               timeline=None) -> int:
-    """Write spans, metrics, then timeline windows; returns line count.
+               timeline=None, flight=None,
+               meta: Optional[Dict[str, Any]] = None) -> int:
+    """Write meta, spans, metrics, windows, flight; returns line count.
 
     With no explicit ``tracer``/``metrics`` the process-wide defaults are
     exported (the no-op tracer exports zero span lines).  ``timeline``
     optionally takes a :class:`~repro.obs.timeline.TimelineRecorder`
     (or any iterable of window dicts) whose ``{"kind": "window"}``
-    records are appended, so one dump feeds the report, profile and
-    dashboard CLIs alike.
+    records are appended; ``flight`` a
+    :class:`~repro.obs.flight.FlightRecorder` whose epoch digests and
+    retained ring follow — so one dump feeds the report, profile,
+    dashboard and divergence CLIs alike.  ``meta`` (a plain dict of
+    provenance fields, see :func:`meta_record`) becomes the dump's
+    first line; dumps without one remain valid for every loader.
     """
     tracer = tracer if tracer is not None else get_tracer()
     metrics = metrics if metrics is not None else get_metrics()
     lines = 0
     with open(path, "w") as handle:
+        if meta is not None:
+            handle.write(json.dumps(meta_record(**meta), sort_keys=True)
+                         + "\n")
+            lines += 1
         for span in tracer.spans:
             handle.write(json.dumps(span_record(span)) + "\n")
             lines += 1
@@ -55,6 +79,10 @@ def dump_jsonl(path: str, tracer: Optional[Tracer] = None,
                 if hasattr(timeline, "records") else timeline
             for window in windows:
                 handle.write(json.dumps(window, sort_keys=True) + "\n")
+                lines += 1
+        if flight is not None:
+            for record in flight.records():
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
                 lines += 1
     return lines
 

@@ -388,10 +388,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if options.from_dump:
-        from repro.obs._cli import load_dump_records
+        from repro.obs._cli import (
+            describe_meta,
+            extract_meta,
+            load_dump_records,
+        )
         records = load_dump_records(options.workload)
         if records is None:
             return 2
+        meta_line = describe_meta(extract_meta(records))
+        if meta_line is not None:
+            print(meta_line)
         profile = SpanProfile.from_records(records)
     else:
         if options.workload not in WORKLOADS:

@@ -22,7 +22,13 @@ import json
 import sys
 from typing import Any, Dict, Iterable, List, Sequence
 
-from repro.obs._cli import fmt_cell, load_dump_records, render_table
+from repro.obs._cli import (
+    describe_meta,
+    extract_meta,
+    fmt_cell,
+    load_dump_records,
+    render_table,
+)
 from repro.sim.monitor import Tally
 
 
@@ -66,6 +72,7 @@ def report_data(records: List[Dict[str, Any]]) -> Dict[str, Any]:
     the same sorted order — so digests over the document are as stable
     as the dump itself.
     """
+    meta = extract_meta(records)
     spans = [r for r in records if r.get("kind") == "span"]
     metrics = [r for r in records if r.get("kind") == "metric"]
     traces = {s["trace_id"] for s in spans}
@@ -88,6 +95,7 @@ def report_data(records: List[Dict[str, Any]]) -> Dict[str, Any]:
         if str(span.get("status", "ok")).startswith("dropped"):
             row[2] += 1
     return {
+        "meta": meta,
         "spans": len(spans),
         "traces": len(traces),
         "metric_records": len(metrics),
@@ -127,6 +135,9 @@ def render_report(records: List[Dict[str, Any]], out=None,
     """
     out = out if out is not None else sys.stdout
     data = report_data(records)
+    meta_line = describe_meta(data["meta"])
+    if meta_line is not None:
+        out.write(meta_line + "\n")
     out.write("{} spans in {} traces, {} metric records\n".format(
         data["spans"], data["traces"], data["metric_records"]))
 

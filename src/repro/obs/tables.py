@@ -31,11 +31,14 @@ from typing import Any, Dict, Iterable, List, Optional
 from repro.obs._cli import parse_rendered, render_table
 from repro.sim.monitor import Tally
 
-#: Dimension name -> the instrument label it rolls up on and the
-#: counter whose per-window delta defines "hot" for the peak column.
+#: Dimension name -> the instrument label it rolls up on, the counter
+#: whose per-window delta defines "hot" for the peak column, and (for
+#: dimensions that have one) the per-reason drop counter broken out
+#: into the ``drops`` column.
 DIMENSIONS: Dict[str, Dict[str, Any]] = {
     "node": {"label": "node", "primary": "net.node.sent"},
-    "link": {"label": "link", "primary": "net.bytes"},
+    "link": {"label": "link", "primary": "net.bytes",
+             "drops": "net.link.drops"},
     "actor": {"label": "actor", "primary": None},
     "op": {"label": "op", "primary": "node.op.invocations"},
 }
@@ -89,6 +92,7 @@ def dimension_table(dim: str,
     spec = DIMENSIONS[dim]
     label = spec["label"]
     primary = spec["primary"]
+    drops_counter = spec.get("drops")
     windows = windows if windows is not None else []
     spans = spans if spans is not None else []
 
@@ -99,6 +103,7 @@ def dimension_table(dim: str,
     counters: Dict[str, Dict[str, float]] = {}
     peaks: Dict[str, Any] = {}
     hist_acc: Dict[str, List[float]] = {}
+    drop_acc: Dict[str, Dict[str, float]] = {}
     for window in windows:
         for rendered, delta in sorted(window.get("counters", {}).items()):
             name, labels = parse_rendered(rendered)
@@ -111,6 +116,10 @@ def dimension_table(dim: str,
                 best = peaks.get(key)
                 if best is None or delta > best[1]:
                     peaks[key] = (window["start"], delta)
+            if name == drops_counter:
+                reasons = drop_acc.setdefault(key, {})
+                reason = labels.get("reason", "?")
+                reasons[reason] = reasons.get(reason, 0) + delta
         for rendered, summary in sorted(
                 window.get("histograms", {}).items()):
             name, labels = parse_rendered(rendered)
@@ -160,7 +169,7 @@ def dimension_table(dim: str,
         else:
             lat = None
         peak = peaks.get(key)
-        rows.append({
+        row = {
             "key": key,
             "total": total,
             "rate": total / duration if duration > 0 else 0.0,
@@ -168,12 +177,18 @@ def dimension_table(dim: str,
             "peak": peak[1] if peak is not None else None,
             "latency": lat,
             "counters": {name: per[name] for name in sorted(per)},
-        })
+        }
+        if drops_counter is not None:
+            reasons = drop_acc.get(key, {})
+            row["drops"] = {reason: int(reasons[reason])
+                            for reason in sorted(reasons)}
+        rows.append(row)
     rows.sort(key=lambda row: (-row["rate"], -row["total"], row["key"]))
     return {
         "dimension": dim,
         "label": label,
         "primary": primary,
+        "drops_counter": drops_counter,
         "duration": duration,
         "rows": rows,
         "zipf_skew": zipf_skew(row["total"] for row in rows),
@@ -197,15 +212,27 @@ def render_dimension_table(doc: Dict[str, Any], out=None,
     def lat(row: Dict[str, Any], stat: str) -> Any:
         return row["latency"][stat] if row["latency"] else "-"
 
-    render_table(
-        "hot spots by {}".format(doc["dimension"]),
-        [doc["dimension"], "total", "rate/s", "p50 (s)", "p95 (s)",
-         "p99 (s)", "peak", "hot at (s)"],
-        [(row["key"], row["total"], row["rate"],
-          lat(row, "p50"), lat(row, "p95"), lat(row, "p99"),
-          row["peak"] if row["peak"] is not None else "-",
-          row["peak_at"] if row["peak_at"] is not None else "-")
-         for row in doc["rows"]],
-        out=out, top=top)
+    def drops_cell(row: Dict[str, Any]) -> str:
+        reasons = row.get("drops") or {}
+        return ",".join("{}:{}".format(reason, count)
+                        for reason, count in sorted(reasons.items())
+                        ) or "-"
+
+    with_drops = doc.get("drops_counter") is not None
+    headers = [doc["dimension"], "total", "rate/s", "p50 (s)", "p95 (s)",
+               "p99 (s)", "peak", "hot at (s)"]
+    if with_drops:
+        headers.append("drops")
+    rows = []
+    for row in doc["rows"]:
+        cells = [row["key"], row["total"], row["rate"],
+                 lat(row, "p50"), lat(row, "p95"), lat(row, "p99"),
+                 row["peak"] if row["peak"] is not None else "-",
+                 row["peak_at"] if row["peak_at"] is not None else "-"]
+        if with_drops:
+            cells.append(drops_cell(row))
+        rows.append(cells)
+    render_table("hot spots by {}".format(doc["dimension"]),
+                 headers, rows, out=out, top=top)
     out.write("zipf skew ({}): {:.3f} over {} key(s)\n".format(
         doc["dimension"], doc["zipf_skew"], len(doc["rows"])))

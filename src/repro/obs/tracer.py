@@ -66,6 +66,11 @@ class Tracer:
         self._tail_pending: "collections.OrderedDict[str, List[Span]]" = \
             collections.OrderedDict()
         self._tail_pending_spans = 0
+        # Trace ids evicted from the tail buffer mid-run.  Later spans
+        # of an evicted trace must be discarded too — re-buffering them
+        # would let tail_flush() promote a fragment of the trace (the
+        # spans that arrived after the eviction) as if it were whole.
+        self._tail_evicted: set = set()
         #: Spans pushed out of the ring buffer.
         self.evicted = 0
         #: Spans discarded by the head sampler (never retained).
@@ -115,6 +120,11 @@ class Tracer:
         self.spans.append(span)
 
     def _tail_hold(self, span: Span) -> None:
+        if span.trace_id in self._tail_evicted:
+            # The trace already lost earlier spans to buffer overflow;
+            # holding this one would promote a torso without its head.
+            self.sampled_out += 1
+            return
         trace = self._tail_pending.setdefault(span.trace_id, [])
         trace.append(span)
         self._tail_pending_spans += 1
@@ -122,9 +132,10 @@ class Tracer:
                 and self._tail_pending_spans > self.tail_buffer \
                 and len(self._tail_pending) > 1:
             # Overflow: the oldest buffered trace loses its chance.
-            _, evicted = self._tail_pending.popitem(last=False)
+            trace_id, evicted = self._tail_pending.popitem(last=False)
             self._tail_pending_spans -= len(evicted)
             self.sampled_out += len(evicted)
+            self._tail_evicted.add(trace_id)
 
     def tail_flush(self) -> int:
         """Resolve the tail-sampling buffer; returns spans promoted.
@@ -133,11 +144,18 @@ class Tracer:
         error or a packet drop) are promoted into :attr:`spans` in
         buffering order; fully healthy traces are discarded (counted in
         :attr:`sampled_out`, exactly as if the head decision had stood).
+        Promotion is all-or-nothing: a trace larger than ``max_spans``
+        (which could only ever land truncated, evicting its own root
+        out of the ring) is discarded whole rather than half-promoted.
         Call after a workload settles — typically right before export.
         """
         promoted = 0
         for spans in self._tail_pending.values():
-            if any(span.status != "ok" for span in spans):
+            keep = any(span.status != "ok" for span in spans)
+            if keep and self.max_spans is not None \
+                    and len(spans) > self.max_spans:
+                keep = False
+            if keep:
                 for span in spans:
                     self._retain(span)
                 promoted += len(spans)
@@ -146,6 +164,7 @@ class Tracer:
                 self.sampled_out += len(spans)
         self._tail_pending.clear()
         self._tail_pending_spans = 0
+        self._tail_evicted.clear()
         return promoted
 
     @contextlib.contextmanager
@@ -173,6 +192,7 @@ class Tracer:
             if self.max_spans is not None else []
         self._tail_pending.clear()
         self._tail_pending_spans = 0
+        self._tail_evicted.clear()
         self.evicted = 0
         self.sampled_out = 0
         self.tail_promoted = 0

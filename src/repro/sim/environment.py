@@ -65,6 +65,21 @@ class Environment:
         self._window_anchor = 0.0
         self._window_index = 0
         self._window_next = Infinity
+        # Flight recorder (repro.obs.flight): bound once at construction
+        # from the process-wide default — install one with use_flight()
+        # *before* creating the environment.  The import is lazy (like
+        # process()'s tracer lookup) so the kernel never pulls repro.obs
+        # onto its import path; flight.py itself is stdlib-only.  With
+        # no recorder both attributes are None and the run loop pays one
+        # identity check per event, mirroring the window hook.
+        from repro.obs.flight import get_flight
+        flight = get_flight()
+        if flight.enabled:
+            self._flight: Optional[Any] = flight
+            self._flight_dispatch: Optional[Any] = flight.on_dispatch
+        else:
+            self._flight = None
+            self._flight_dispatch = None
 
     @property
     def now(self) -> float:
@@ -136,6 +151,11 @@ class Environment:
                 process.span = span
                 process.callbacks.append(
                     lambda _event: span.finish(at=self._now))
+            flight = self._flight
+            if flight is not None and flight.journal_actors:
+                flight.record_spawn(name)
+                process.callbacks.append(
+                    lambda event: flight.record_exit(name, event._ok))
         return process
 
     def all_of(self, events) -> AllOf:
@@ -219,9 +239,11 @@ class Environment:
     def step(self) -> None:
         """Process the single next event, advancing the clock to it."""
         try:
-            self._now, _, event = heappop(self._queue)
+            self._now, key, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule("no more events")
+        if self._flight_dispatch is not None:
+            self._flight_dispatch(self._now, key)
         if self._now >= self._window_next:
             self._fire_window_hook()
         self.events_processed += 1
@@ -262,6 +284,12 @@ class Environment:
         # (counters, exception escalation, StopSimulation) is identical.
         queue = self._queue
         pop = heappop
+        # The flight dispatch hook is hoisted into a local like ``pop``:
+        # it journals (time, eid, priority) per event and drives the
+        # recorder's epoch clock, scheduling zero events — replay
+        # digests are identical with or without it (the O2 bench
+        # asserts this).  None (the default) costs one check per event.
+        flight_dispatch = self._flight_dispatch
         # The processed count is batched in a local and flushed once on
         # the way out (including via exceptions): nothing observes
         # ``events_processed`` while run() is on the stack — stats() is
@@ -271,9 +299,11 @@ class Environment:
         try:
             while True:
                 try:
-                    self._now, _, event = pop(queue)
+                    self._now, key, event = pop(queue)
                 except IndexError:
                     raise EmptySchedule("no more events")
+                if flight_dispatch is not None:
+                    flight_dispatch(self._now, key)
                 if self._now >= self._window_next:
                     self._fire_window_hook()
                 processed += 1

@@ -14,6 +14,34 @@ from typing import Dict, Iterator, List, Sequence, TypeVar
 T = TypeVar("T")
 
 
+class _JournalledRandom(random.Random):
+    """A stream that journals its draws to the flight recorder.
+
+    Only ``random()`` and ``getrandbits()`` are overridden — the two
+    primitives every other ``random.Random`` method (gauss, expovariate,
+    uniform, randrange, shuffle via ``_randbelow``) routes through.
+    Because both appear in the subclass dict, CPython selects the same
+    ``_randbelow_with_getrandbits`` strategy as the base class, so the
+    underlying Mersenne-Twister draw sequence — and therefore every
+    replay digest — is bit-identical to an unjournalled stream.
+    """
+
+    def __init__(self, seed: int, flight, name: str) -> None:
+        random.Random.__init__(self, seed)
+        self._flight = flight
+        self._stream_name = name
+
+    def random(self) -> float:
+        value = random.Random.random(self)
+        self._flight.record_rng(self._stream_name, "random", value)
+        return value
+
+    def getrandbits(self, k: int) -> int:
+        value = random.Random.getrandbits(self, k)
+        self._flight.record_rng(self._stream_name, "getrandbits", value)
+        return value
+
+
 class RandomStreams:
     """A factory of independent, named :class:`random.Random` streams."""
 
@@ -22,12 +50,23 @@ class RandomStreams:
         self._streams: Dict[str, random.Random] = {}
 
     def stream(self, name: str) -> random.Random:
-        """Return the stream for ``name``, creating it deterministically."""
+        """Return the stream for ``name``, creating it deterministically.
+
+        While a flight recorder is enabled (:mod:`repro.obs.flight`,
+        imported lazily to keep it off the kernel's import path), new
+        streams journal every draw; seeding and the draw sequence are
+        unchanged either way.
+        """
         if name not in self._streams:
             digest = hashlib.sha256(
                 "{}:{}".format(self.seed, name).encode()).digest()
-            self._streams[name] = random.Random(
-                int.from_bytes(digest[:8], "big"))
+            seed = int.from_bytes(digest[:8], "big")
+            from repro.obs.flight import get_flight
+            flight = get_flight()
+            if flight.enabled and flight.journal_rng:
+                self._streams[name] = _JournalledRandom(seed, flight, name)
+            else:
+                self._streams[name] = random.Random(seed)
         return self._streams[name]
 
     def fork(self, name: str) -> "RandomStreams":

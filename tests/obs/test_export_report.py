@@ -167,6 +167,46 @@ def test_report_cli_unreadable_file_exits_2(tmp_path, capsys):
     assert "cannot read" in capsys.readouterr().err
 
 
+def test_meta_record_leads_the_dump(traced_run, tmp_path):
+    from repro.obs.export import META_SCHEMA
+
+    path = str(tmp_path / "meta.jsonl")
+    with obs.use_metrics(obs.MetricsRegistry()):
+        obs.dump_jsonl(path, meta={"workload": "demo", "seed": 7,
+                                   "sim_time": [0.0, 4.5]})
+    with open(path) as handle:
+        first = json.loads(handle.readline())
+    assert first == {"kind": "meta", "schema": META_SCHEMA,
+                     "workload": "demo", "seed": 7,
+                     "sim_time": [0.0, 4.5]}
+
+
+def test_report_surfaces_meta_line(tmp_path, capsys):
+    path = str(tmp_path / "meta.jsonl")
+    with obs.use_metrics(obs.MetricsRegistry()) as metrics:
+        metrics.counter("ticks").add()
+        obs.dump_jsonl(path, metrics=metrics,
+                       meta={"workload": "demo", "seed": 7})
+    assert main([path]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("meta: workload=demo seed=7 schema=repro-obs/1")
+    assert main([path, "--format", "json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["meta"]["workload"] == "demo"
+
+
+def test_metaless_dump_still_loads_and_reports(traced_run, capsys):
+    # Dumps written before the meta record existed: no meta line, no
+    # meta key surprises, everything else identical.
+    path, _ = traced_run
+    assert main([path]) == 0
+    out = capsys.readouterr().out
+    assert not out.startswith("meta:")
+    assert "spans by operation" in out
+    assert main([path, "--format", "json"]) == 0
+    assert json.loads(capsys.readouterr().out)["meta"] is None
+
+
 def test_dump_jsonl_appends_timeline_windows(tmp_path):
     from repro.obs.timeline import TimelineRecorder
     from repro.sim import Environment

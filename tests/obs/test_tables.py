@@ -130,3 +130,57 @@ def test_rows_without_labels_for_dimension_are_ignored():
                                     "net.bytes{link=l1}": 9})]
     doc = dimension_table("node", windows)
     assert doc["rows"] == []
+
+
+# -- the drops column -------------------------------------------------------
+
+def test_link_table_attributes_drops_by_reason():
+    windows = [
+        window(0, 0.0, 1.0, {
+            "net.bytes{link=l1}": 100,
+            "net.link.drops{link=l1,reason=loss}": 2,
+            "net.link.drops{link=l1,reason=impairment}": 3}),
+        window(1, 1.0, 2.0, {
+            "net.bytes{link=l1}": 50,
+            "net.link.drops{link=l1,reason=loss}": 1,
+            "net.link.drops{link=l2,reason=link-down}": 4,
+            "net.bytes{link=l2}": 10}),
+    ]
+    doc = dimension_table("link", windows)
+    assert doc["drops_counter"] == "net.link.drops"
+    rows = {row["key"]: row for row in doc["rows"]}
+    assert rows["l1"]["drops"] == {"impairment": 3, "loss": 3}
+    assert rows["l2"]["drops"] == {"link-down": 4}
+
+
+def test_link_rows_without_drops_get_empty_dict():
+    windows = [window(0, 0.0, 1.0, {"net.bytes{link=l1}": 100})]
+    doc = dimension_table("link", windows)
+    assert doc["rows"][0]["drops"] == {}
+
+
+def test_non_link_dimensions_carry_no_drops():
+    windows = [window(0, 0.0, 1.0, {"net.node.sent{node=a}": 5})]
+    doc = dimension_table("node", windows)
+    assert doc["drops_counter"] is None
+    assert "drops" not in doc["rows"][0]
+
+
+def test_render_drops_column_only_on_link_table():
+    windows = [
+        window(0, 0.0, 1.0, {
+            "net.bytes{link=l1}": 100,
+            "net.link.drops{link=l1,reason=loss}": 2,
+            "net.link.drops{link=l1,reason=impairment}": 5,
+            "net.bytes{link=l2}": 10,
+            "net.node.sent{node=a}": 5}),
+    ]
+    out = io.StringIO()
+    render_dimension_table(dimension_table("link", windows), out=out)
+    text = out.getvalue()
+    assert "drops" in text
+    assert "impairment:5,loss:2" in text
+    assert "\n-\n" not in text  # dash placeholder renders in-row
+    out = io.StringIO()
+    render_dimension_table(dimension_table("node", windows), out=out)
+    assert "drops" not in out.getvalue()

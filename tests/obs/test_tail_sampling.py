@@ -98,15 +98,68 @@ def test_clear_resets_tail_state():
     assert tracer.tail_promoted == 0
 
 
-def test_tail_flush_respects_max_spans_ring():
+def test_tail_flush_never_half_promotes_into_small_ring():
+    # A 2-span error trace cannot fit a max_spans=1 ring whole;
+    # promoting it would evict its own root and export a headless
+    # fragment.  The whole trace is discarded instead.
     tracer = Tracer(sampler=DropAll(), tail_keep_errors=True,
                     max_spans=1)
     root = tracer.start_span("a", at=0.0)
     root.set_status("error")
-    child = tracer.start_span("b", at=0.1, parent=root)
+    tracer.start_span("b", at=0.1, parent=root)
+    assert tracer.tail_flush() == 0
+    assert len(tracer.spans) == 0
+    assert tracer.evicted == 0
+    assert tracer.sampled_out == 2
+
+
+def test_tail_flush_promotes_trace_that_fits_ring():
+    tracer = Tracer(sampler=DropAll(), tail_keep_errors=True,
+                    max_spans=2)
+    root = tracer.start_span("a", at=0.0)
+    root.set_status("error")
+    tracer.start_span("b", at=0.1, parent=root)
+    assert tracer.tail_flush() == 2
+    assert [s.name for s in tracer.spans] == ["a", "b"]
+    assert tracer.evicted == 0
+
+
+def test_evicted_trace_is_not_half_promoted():
+    # Regression: a trace whose root was evicted from the tail buffer
+    # must not be resurrected by its later spans — tail_flush would
+    # promote the fragment that arrived after the eviction.
+    tracer = Tracer(sampler=DropAll(), tail_keep_errors=True,
+                    tail_buffer=1)
+    root = tracer.start_span("victim-root", at=0.0)
+    root.set_status("error")
+    root.finish(at=0.1)
+    other = tracer.start_span("other", at=0.2)
+    other.finish(at=0.3)
+    # "other" overflowed the 1-span buffer and evicted the victim's
+    # root.  A late child of the victim trace arrives afterwards:
+    late = tracer.start_span("victim-child", at=0.4, parent=root)
+    late.set_status("error")
+    late.finish(at=0.5)
+    assert tracer.tail_flush() == 0
+    assert len(tracer.spans) == 0
+    assert tracer.sampled_out == 3
+
+
+def test_eviction_poison_resets_on_flush():
+    tracer = Tracer(sampler=DropAll(), tail_keep_errors=True,
+                    tail_buffer=1)
+    first = tracer.start_span("first", at=0.0)
+    first.finish(at=0.1)
+    second = tracer.start_span("second", at=0.2)
+    second.finish(at=0.3)  # evicts trace "first"
     tracer.tail_flush()
-    assert len(tracer.spans) == 1
-    assert tracer.evicted == 1
+    # After a flush the slate is clean: a new trace reusing nothing
+    # from the evicted one promotes normally.
+    span = tracer.start_span("fresh", at=1.0)
+    span.set_status("error")
+    span.finish(at=1.1)
+    assert tracer.tail_flush() == 1
+    assert [s.name for s in tracer.spans] == ["fresh"]
 
 
 def test_sampler_still_head_samples_with_tail_on():
