@@ -1,0 +1,220 @@
+"""F1-fuzz — chaos-search throughput: generation, oracles, shrinking.
+
+The fuzz engine's budget is spent in three places, measured separately:
+
+* **generation** — sampling valid schedules against a static topology
+  (pure RNG + schedule building; thousands per second);
+* **oracle evaluation** — the per-trial cost split into the workload
+  runs themselves (one for a single-run trial, two when the replay
+  oracle is armed) and the oracle suite's judgement over the collected
+  evidence (microseconds — the runs dominate);
+* **shrinking** — delta-debugging a real failure from the seed-7
+  partition-recovery campaign down to its minimal reproducer, counting
+  probes and wall time per probe.
+
+Correctness is asserted alongside: two budget-3 campaigns under one
+seed must produce byte-identical summaries, and the shrink must
+converge to the known 2-event minimum.  Figures land in
+``BENCH_PR9.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict
+
+from benchmarks._util import print_table, record_run, run_once
+from repro.faults.fuzz import (
+    ScheduleGenerator,
+    evaluate_schedule,
+    get_profile,
+    run_campaign,
+    run_trial,
+    _shrink_test,
+)
+from repro.faults.oracles import (
+    TrialEvidence,
+    check_hb,
+    check_liveness,
+    check_replay,
+    check_slo_clears,
+    evaluate,
+)
+from repro.faults.schedule import FaultSchedule
+from repro.faults.shrink import shrink_schedule
+from repro.net import Network, Topology
+from repro.sim import Environment, RandomStreams
+
+SEED = 7
+WORKLOAD_SEED = 31
+GENERATE_COUNT = 2000
+ORACLE_REPEATS = 2000
+CAMPAIGN_BUDGET = 3
+
+ORACLE_FNS = (("replay", check_replay), ("hb-conflicts", check_hb),
+              ("liveness", check_liveness),
+              ("slo-clears", check_slo_clears))
+
+
+def _static_net() -> Network:
+    env = Environment()
+    streams = RandomStreams(WORKLOAD_SEED)
+    topo = Topology(env)
+    for a, b in (("n0", "n1"), ("n1", "n2"), ("n2", "n3"),
+                 ("n0", "n3"), ("n0", "n2")):
+        topo.add_link(a, b, latency=0.005, bandwidth=1e7,
+                      rng=streams.stream("link-{}-{}".format(a, b)))
+    return Network(env, topo)
+
+
+def run_experiment() -> Dict[str, Any]:
+    results: Dict[str, Any] = {}
+
+    # -- generation throughput ------------------------------------------
+    profile = get_profile("fuzz-probe")
+    net = _static_net()
+    generator = ScheduleGenerator(profile,
+                                  RandomStreams(SEED).stream("bench"))
+    started = time.perf_counter()
+    events = 0
+    for _ in range(GENERATE_COUNT):
+        events += len(generator.generate(net))
+    generation_s = time.perf_counter() - started
+    results["generate"] = {
+        "schedules": GENERATE_COUNT,
+        "events": events,
+        "wall_s": generation_s,
+        "schedules_per_s": GENERATE_COUNT / generation_s,
+    }
+
+    # -- trial cost: single-run vs replay-armed trials -------------------
+    trial_generator = ScheduleGenerator(
+        profile, RandomStreams(SEED).stream("trial-bench"))
+    started = time.perf_counter()
+    trial = run_trial("fuzz-probe", WORKLOAD_SEED, trial_generator)
+    two_run_s = time.perf_counter() - started
+    started = time.perf_counter()
+    single = evaluate_schedule("fuzz-probe", WORKLOAD_SEED,
+                               trial["schedule"], runs=1)
+    one_run_s = time.perf_counter() - started
+    results["trial"] = {
+        "one_run_s": one_run_s,
+        "two_run_s": two_run_s,
+        "replay_oracle_overhead_s": two_run_s - one_run_s,
+    }
+    assert trial["digests"][0] == trial["digests"][1]
+    assert single["workload"] == "fuzz-probe"
+
+    # -- per-oracle judgement cost over fixed evidence -------------------
+    schedule = FaultSchedule.from_dict(trial["schedule"])
+    evidence = TrialEvidence(profile, schedule, {"inflight": {}},
+                             {"write-write": 0}, trial["digests"])
+    oracle_micro: Dict[str, float] = {}
+    for name, oracle in ORACLE_FNS:
+        started = time.perf_counter()
+        for _ in range(ORACLE_REPEATS):
+            oracle(evidence)
+        oracle_micro[name] = ((time.perf_counter() - started)
+                              / ORACLE_REPEATS * 1e6)
+    started = time.perf_counter()
+    for _ in range(ORACLE_REPEATS):
+        evaluate(evidence)
+    oracle_micro["full-suite"] = ((time.perf_counter() - started)
+                                  / ORACLE_REPEATS * 1e6)
+    results["oracle_us"] = oracle_micro
+
+    # -- campaign determinism (and its wall cost) ------------------------
+    started = time.perf_counter()
+    first = run_campaign("fuzz-probe", budget=CAMPAIGN_BUDGET,
+                         seed=SEED + 4)
+    campaign_s = time.perf_counter() - started
+    second = run_campaign("fuzz-probe", budget=CAMPAIGN_BUDGET,
+                          seed=SEED + 4)
+    assert first == second, "same-seed campaigns must be identical"
+    results["campaign"] = {
+        "budget": CAMPAIGN_BUDGET,
+        "wall_s": campaign_s,
+        "trials_per_s": CAMPAIGN_BUDGET / campaign_s,
+    }
+
+    # -- shrink cost on a real found failure -----------------------------
+    prp = get_profile("partition-recovery")
+    failing_generator = ScheduleGenerator(
+        prp, RandomStreams(SEED).stream("trial-00000"))
+    failure = run_trial("partition-recovery", WORKLOAD_SEED,
+                        failing_generator)
+    assert failure["oracles"], \
+        "seed-7 trial 0 is the known failing fixture"
+    target = failure["oracles"][0]
+    started = time.perf_counter()
+    report = shrink_schedule(
+        failure["schedule"]["events"],
+        _shrink_test("partition-recovery", WORKLOAD_SEED, target))
+    shrink_s = time.perf_counter() - started
+    assert report["reproduced"]
+    assert report["events_after"] == 2, \
+        "the known fixture shrinks to one onset/lift pair"
+    results["shrink"] = {
+        "events_before": report["events_before"],
+        "events_after": report["events_after"],
+        "probes": report["tests_run"],
+        "wall_s": shrink_s,
+        "s_per_probe": shrink_s / max(1, report["tests_run"]),
+    }
+    return results
+
+
+def test_fuzz_throughput(benchmark):
+    results = run_once(benchmark, run_experiment)
+
+    print_table(
+        "F1-fuzz: chaos-search engine cost breakdown",
+        ["stage", "metric", "value"],
+        [
+            ["generate", "schedules/s",
+             results["generate"]["schedules_per_s"]],
+            ["generate", "events sampled", results["generate"]["events"]],
+            ["trial", "1-run eval (s)", results["trial"]["one_run_s"]],
+            ["trial", "2-run eval (s)", results["trial"]["two_run_s"]],
+            ["oracles", "full suite (us)",
+             results["oracle_us"]["full-suite"]],
+            ["campaign", "trials/s",
+             results["campaign"]["trials_per_s"]],
+            ["shrink", "probes", results["shrink"]["probes"]],
+            ["shrink", "s/probe", results["shrink"]["s_per_probe"]],
+            ["shrink", "events", "{} -> {}".format(
+                results["shrink"]["events_before"],
+                results["shrink"]["events_after"])],
+        ])
+
+    # Loose backstops only — BENCH_PR9.json carries the real figures.
+    assert results["generate"]["schedules_per_s"] > 50
+    assert results["shrink"]["probes"] > 0
+
+    record_run(
+        "f1_fuzz_throughput",
+        metrics={
+            "generate.schedules_per_s":
+                results["generate"]["schedules_per_s"],
+            "generate.events": results["generate"]["events"],
+            "trial.one_run_s": results["trial"]["one_run_s"],
+            "trial.two_run_s": results["trial"]["two_run_s"],
+            "trial.replay_overhead_s":
+                results["trial"]["replay_oracle_overhead_s"],
+            "oracle.full_suite_us": results["oracle_us"]["full-suite"],
+            "oracle.replay_us": results["oracle_us"]["replay"],
+            "oracle.hb_us": results["oracle_us"]["hb-conflicts"],
+            "oracle.liveness_us": results["oracle_us"]["liveness"],
+            "oracle.slo_us": results["oracle_us"]["slo-clears"],
+            "campaign.trials_per_s":
+                results["campaign"]["trials_per_s"],
+            "shrink.probes": results["shrink"]["probes"],
+            "shrink.s_per_probe": results["shrink"]["s_per_probe"],
+            "shrink.events_before": results["shrink"]["events_before"],
+            "shrink.events_after": results["shrink"]["events_after"],
+        },
+        path="BENCH_PR9.json")
+
+
+if __name__ == "__main__":
+    run_experiment()

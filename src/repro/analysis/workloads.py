@@ -134,10 +134,24 @@ def _register_chaos() -> Dict[str, Callable[..., Dict[str, Any]]]:
     # import cycle (see repro.faults.__init__).
     from repro.faults.chaos import (
         flaky_links_workload,
+        fuzz_probe_workload,
         partition_recovery_workload,
     )
     return {"partition-recovery": partition_recovery_workload,
-            "flaky-links": flaky_links_workload}
+            "flaky-links": flaky_links_workload,
+            "fuzz-probe": fuzz_probe_workload}
+
+
+def _register_fuzz_corpus() -> Dict[str, Callable[..., Dict[str, Any]]]:
+    # Every shrunk reproducer checked into the default fuzz corpus
+    # becomes a ``fuzz-reg-<id>`` workload: the base workload run under
+    # the stored minimal schedule, its oracle verdict in the result.
+    # Regression coverage therefore rides the existing replay/flight
+    # determinism gates automatically.  corpus.py must not be imported
+    # by this module's importers eagerly — it reaches back into the
+    # fuzz engine, which imports this registry at call time.
+    from repro.faults.corpus import corpus_workloads
+    return corpus_workloads()
 
 
 #: Registry of named workloads for the races / replay / profile CLIs.
@@ -145,6 +159,7 @@ WORKLOADS: Dict[str, Callable[..., Dict[str, Any]]] = \
     _register_lock_styles()
 WORKLOADS.update(_register_obs_demos())
 WORKLOADS.update(_register_chaos())
+WORKLOADS.update(_register_fuzz_corpus())
 
 
 def run_workload(name: str, seed: int = 31) -> Dict[str, Any]:

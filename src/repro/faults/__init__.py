@@ -31,14 +31,24 @@ from repro.faults.schedule import (
     FaultEvent,
     FaultInjector,
     FaultSchedule,
+    use_schedule_override,
 )
 
-#: Lazily imported name -> defining submodule.
+#: Lazily imported name -> defining submodule.  The fuzz/oracle/shrink/
+#: corpus stack is lazy for the same reason as the chaos workloads: it
+#: reaches the workload registry, which pulls in the whole net/node
+#: stack.
 _LAZY = {
     "PhiAccrualDetector": "repro.faults.detector",
     "DegradationManager": "repro.faults.degrade",
     "DEGRADED": "repro.faults.degrade",
     "FULL_SERVICE": "repro.faults.degrade",
+    "FuzzProfile": "repro.faults.fuzz",
+    "ScheduleGenerator": "repro.faults.fuzz",
+    "evaluate_schedule": "repro.faults.fuzz",
+    "run_campaign": "repro.faults.fuzz",
+    "ddmin": "repro.faults.shrink",
+    "shrink_schedule": "repro.faults.shrink",
 }
 
 __all__ = [
@@ -52,9 +62,16 @@ __all__ = [
     "FaultPolicies",
     "FaultSchedule",
     "FULL_SERVICE",
+    "FuzzProfile",
     "PhiAccrualDetector",
     "RetryPolicy",
+    "ScheduleGenerator",
+    "ddmin",
+    "evaluate_schedule",
     "fixed_retry",
+    "run_campaign",
+    "shrink_schedule",
+    "use_schedule_override",
 ]
 
 

@@ -1,0 +1,175 @@
+"""The oracle suite: what "this chaos run went wrong" means, testably.
+
+A fuzzed fault schedule on its own proves nothing — packets drop, SLOs
+burn, circuits open; all of that is the *intended* behaviour of a
+degrading infrastructure.  An oracle states a property that must hold
+anyway, and the suite here reuses properties the repo already measures:
+
+``replay``
+    Same seed, same schedule ⇒ byte-identical result digest (the
+    :mod:`repro.analysis.replay` property).  A mismatch means the
+    schedule tickled hidden nondeterminism — a wall-clock read, a
+    foreign RNG, hash-order dependence — and the flight recorder can
+    localize the first divergent epoch.
+``hb-conflicts``
+    The happens-before sanitizer (:mod:`repro.analysis.hb`) must report
+    no *hard* conflicts: two same-object accesses, at least one a
+    write, ordered by nothing.  Profiles that declare themselves
+    conflict-free extend this to every conflict kind.
+``liveness``
+    Once every scheduled fault has lifted (the schedule is *balanced*)
+    and the workload's drain window has passed, no operation may still
+    be pending: every RPC call and reliable send either completed or
+    failed cleanly.  Reads the ``inflight`` table workloads export from
+    the transport's pending-operation accounting.
+``slo-clears``
+    Degradation must be reversible: an SLO burn alert fired during a
+    balanced schedule must have cleared by the end of the run.
+``invariant:<name>``
+    Profile-supplied domain checks (e.g. partition-recovery's "a
+    suspected member rejoins after the last fault lifts").
+
+Each oracle is a function ``(evidence) -> violation | None`` where a
+violation is a JSON-safe dict.  :func:`evaluate` runs the whole suite
+and returns every violation, so one schedule can count against several
+properties at once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.faults.schedule import FaultSchedule
+
+#: Conflict kinds the sanitizer reports (mirrors repro.analysis.hb).
+_HARD_CONFLICT = "write-write"
+
+
+class TrialEvidence:
+    """Everything the oracles may inspect about one fuzz trial."""
+
+    __slots__ = ("profile", "schedule", "result", "conflicts", "digests")
+
+    def __init__(self, profile: Any, schedule: FaultSchedule,
+                 result: Dict[str, Any], conflicts: Dict[str, int],
+                 digests: List[str]) -> None:
+        self.profile = profile
+        self.schedule = schedule
+        self.result = result
+        self.conflicts = conflicts
+        self.digests = digests
+
+    def __repr__(self) -> str:
+        return "<TrialEvidence events={} digests={}>".format(
+            len(self.schedule), len(self.digests))
+
+
+def _violation(oracle: str, message: str,
+               **data: Any) -> Dict[str, Any]:
+    record: Dict[str, Any] = {"oracle": oracle, "message": message}
+    if data:
+        record["data"] = {key: data[key] for key in sorted(data)}
+    return record
+
+
+def check_replay(evidence: TrialEvidence) -> Optional[Dict[str, Any]]:
+    """Same seed + same schedule must digest identically."""
+    digests = evidence.digests
+    if len(digests) < 2:
+        return None  # single-run evaluation: oracle not applicable
+    if len(set(digests)) == 1:
+        return None
+    return _violation(
+        "replay",
+        "same-seed runs diverged under this schedule "
+        "(hidden nondeterminism)",
+        digests=list(digests))
+
+
+def check_hb(evidence: TrialEvidence) -> Optional[Dict[str, Any]]:
+    """No hard happens-before conflicts (none at all if conflict-free)."""
+    conflicts = evidence.conflicts or {}
+    hard = conflicts.get(_HARD_CONFLICT, 0)
+    total = sum(conflicts.values())
+    strict = getattr(evidence.profile, "conflict_free", False)
+    if hard == 0 and not (strict and total > 0):
+        return None
+    return _violation(
+        "hb-conflicts",
+        "the sanitizer saw accesses ordered by nothing",
+        conflicts={key: conflicts[key] for key in sorted(conflicts)},
+        strict=strict)
+
+
+def check_liveness(evidence: TrialEvidence) -> Optional[Dict[str, Any]]:
+    """After a balanced schedule drains, nothing may still be pending."""
+    if not getattr(evidence.profile, "liveness", False):
+        return None
+    if not evidence.schedule.balanced():
+        return None  # a fault outlives the run: no drain guarantee
+    inflight = evidence.result.get("inflight")
+    if not isinstance(inflight, dict):
+        return None
+    stuck = {key: value for key, value in sorted(inflight.items())
+             if value}
+    if not stuck:
+        return None
+    return _violation(
+        "liveness",
+        "operations started before the last heal neither completed "
+        "nor failed within the drain window",
+        inflight=stuck)
+
+
+def check_slo_clears(evidence: TrialEvidence
+                     ) -> Optional[Dict[str, Any]]:
+    """A burn alert fired under a balanced schedule must clear."""
+    if not getattr(evidence.profile, "slo_clear", False):
+        return None
+    if not evidence.schedule.balanced():
+        return None
+    fired = evidence.result.get("slo_fired_at")
+    cleared = evidence.result.get("slo_cleared_at")
+    if fired is None or cleared is not None:
+        return None
+    return _violation(
+        "slo-clears",
+        "the SLO burn alert fired and never cleared although every "
+        "fault lifted",
+        fired_at=fired)
+
+
+def check_invariants(evidence: TrialEvidence) -> List[Dict[str, Any]]:
+    """Profile-supplied domain invariants (each returns a message)."""
+    violations = []
+    for name, check in getattr(evidence.profile, "invariants", ()):
+        message = check(evidence.schedule, evidence.result)
+        if message is not None:
+            violations.append(_violation("invariant:" + name, message))
+    return violations
+
+
+#: The suite, in evaluation (and report) order.
+ORACLES: List[Callable[[TrialEvidence],
+                       Optional[Dict[str, Any]]]] = [
+    check_replay,
+    check_hb,
+    check_liveness,
+    check_slo_clears,
+]
+
+
+def evaluate(evidence: TrialEvidence) -> List[Dict[str, Any]]:
+    """Run every oracle; the (possibly empty) list of violations."""
+    violations = []
+    for oracle in ORACLES:
+        violation = oracle(evidence)
+        if violation is not None:
+            violations.append(violation)
+    violations.extend(check_invariants(evidence))
+    return violations
+
+
+def oracle_names(violations: List[Dict[str, Any]]) -> List[str]:
+    """Just the oracle identifiers, in report order."""
+    return [violation["oracle"] for violation in violations]

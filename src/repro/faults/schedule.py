@@ -21,6 +21,7 @@ first-class citizens of the tracing/report pipeline.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
@@ -35,6 +36,32 @@ KINDS = (
     "latency-storm", "latency-calm",
     "loss-burst", "loss-calm",
 )
+
+#: Required parameter names (beyond ``at``/``kind``) per event kind,
+#: used by :meth:`FaultEvent.from_dict` validation.  Optional keys are
+#: parenthesised in the error text only, never required.
+_REQUIRED_PARAMS = {
+    "link-down": ("a", "b"),
+    "link-up": ("a", "b"),
+    "partition": ("name", "groups"),
+    "heal": ("name",),
+    "node-crash": ("node",),
+    "node-restart": ("node",),
+    "latency-storm": ("scale", "links"),
+    "latency-calm": ("scale", "links"),
+    "loss-burst": ("extra_loss", "links"),
+    "loss-calm": ("extra_loss", "links"),
+}
+
+#: Lifting counterpart of each "onset" kind (used by balance checks,
+#: the fuzzer's generator and the shrinker's gap reduction).
+LIFT_KINDS = {
+    "link-down": "link-up",
+    "partition": "heal",
+    "node-crash": "node-restart",
+    "latency-storm": "latency-calm",
+    "loss-burst": "loss-calm",
+}
 
 
 class FaultEvent:
@@ -63,6 +90,40 @@ class FaultEvent:
         record.update({key: self.params[key]
                        for key in sorted(self.params)})
         return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any], seq: int = 0
+                  ) -> "FaultEvent":
+        """The inverse of :meth:`to_dict`, validating as it parses.
+
+        Raises :class:`~repro.errors.SimulationError` naming the
+        offending event (``event <seq> (<kind> @<at>): <problem>``) so a
+        bad corpus file points straight at the record to fix.
+        """
+        if not isinstance(record, dict):
+            raise SimulationError(
+                "event {}: expected an object, got {}".format(
+                    seq, type(record).__name__))
+        label = "event {} ({} @{})".format(
+            seq, record.get("kind", "?"), record.get("at", "?"))
+        at = record.get("at")
+        if not isinstance(at, (int, float)) or isinstance(at, bool) \
+                or at < 0:
+            raise SimulationError(
+                label + ": 'at' must be a non-negative number")
+        kind = record.get("kind")
+        if kind not in KINDS:
+            raise SimulationError(
+                "{}: unknown kind {!r} (known: {})".format(
+                    label, kind, ", ".join(KINDS)))
+        params = {key: value for key, value in record.items()
+                  if key not in ("at", "kind")}
+        for name in _REQUIRED_PARAMS[kind]:
+            if name not in params:
+                raise SimulationError(
+                    "{}: missing required param {!r}".format(label, name))
+        _validate_params(label, kind, params)
+        return cls(float(at), kind, params, seq)
 
     def __repr__(self) -> str:
         return "<FaultEvent {} @{:g} {}>".format(
@@ -206,11 +267,153 @@ class FaultSchedule:
         """A canonical JSON-safe form for replay digests."""
         return {"events": [event.to_dict() for event in self.ordered()]}
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultSchedule":
+        """Rebuild a schedule from its :meth:`to_dict` form.
+
+        Round-trip stable: ``s.from_dict(d).to_dict() == d`` for any
+        canonical ``d`` (events already in execution order).  Validation
+        errors name the offending event.
+        """
+        if not isinstance(data, dict) or "events" not in data:
+            raise SimulationError(
+                "schedule must be an object with an 'events' list")
+        events = data["events"]
+        if not isinstance(events, list):
+            raise SimulationError("'events' must be a list")
+        schedule = cls()
+        for index, record in enumerate(events):
+            schedule.events.append(FaultEvent.from_dict(record, index))
+            schedule._seq = index + 1
+        return schedule
+
+    def balanced(self) -> bool:
+        """True when every onset event has a matching lift after it.
+
+        Link cuts need a later ``link-up`` for the same pair, crashes a
+        restart, partitions a heal, impairments their calm — the
+        precondition of the fuzzer's liveness/recovery oracles ("after
+        everything healed, the system must converge").
+        """
+        pending: Dict[Tuple[Any, ...], int] = {}
+        for event in self.ordered():
+            kind = event.kind
+            if kind in LIFT_KINDS:
+                pending[_pair_key(kind, event.params)] = \
+                    pending.get(_pair_key(kind, event.params), 0) + 1
+            else:
+                for onset, lift in LIFT_KINDS.items():
+                    if kind == lift:
+                        key = _pair_key(onset, event.params)
+                        if pending.get(key, 0) > 0:
+                            pending[key] -= 1
+                        break
+        return not any(count > 0 for count in pending.values())
+
+    def last_lift_at(self) -> float:
+        """Time of the last lifting event (0.0 for an empty schedule)."""
+        lifts = [event.at for event in self.events
+                 if event.kind in LIFT_KINDS.values()]
+        return max(lifts) if lifts else 0.0
+
     def __len__(self) -> int:
         return len(self.events)
 
     def __repr__(self) -> str:
         return "<FaultSchedule events={}>".format(len(self.events))
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _validate_params(label: str, kind: str, params: Dict[str, Any]) -> None:
+    """Per-kind parameter validation for :meth:`FaultEvent.from_dict`."""
+    def fail(problem: str) -> None:
+        raise SimulationError("{}: {}".format(label, problem))
+
+    for name in ("a", "b", "node", "name"):
+        if name in params and not isinstance(params[name], str):
+            fail("param {!r} must be a string".format(name))
+    if kind == "partition":
+        groups = params["groups"]
+        if not isinstance(groups, list) or len(groups) < 2:
+            fail("'groups' must be a list of at least two groups")
+        for group in groups:
+            if not isinstance(group, list) or not group \
+                    or not all(isinstance(node, str) for node in group):
+                fail("every partition group must be a non-empty "
+                     "list of node names")
+    if "scale" in params and (not _is_number(params["scale"])
+                              or params["scale"] <= 0):
+        fail("'scale' must be a positive number")
+    if "extra_loss" in params \
+            and (not _is_number(params["extra_loss"])
+                 or not 0 < params["extra_loss"] < 1):
+        fail("'extra_loss' must be a number in (0, 1)")
+    if "links" in params and params["links"] is not None:
+        links = params["links"]
+        if not isinstance(links, list):
+            fail("'links' must be null (all links) or a list of pairs")
+        for pair in links:
+            if not isinstance(pair, list) or len(pair) != 2 \
+                    or not all(isinstance(end, str) for end in pair):
+                fail("every link target must be a [a, b] pair "
+                     "of node names")
+    if "flap" in params and not isinstance(params["flap"], int):
+        fail("'flap' must be an integer cycle index")
+
+
+def _canon_links(links: Any) -> Any:
+    if links is None:
+        return None
+    return tuple(tuple(pair) for pair in links)
+
+
+def _pair_key(onset_kind: str, params: Dict[str, Any]) -> Tuple[Any, ...]:
+    """The identity an onset shares with its lifting counterpart."""
+    if onset_kind == "link-down":
+        return ("link",) + tuple(sorted((params["a"], params["b"])))
+    if onset_kind == "partition":
+        return ("partition", params["name"])
+    if onset_kind == "node-crash":
+        return ("node", params["node"])
+    if onset_kind == "latency-storm":
+        return ("latency", params["scale"], _canon_links(params["links"]))
+    return ("loss", params["extra_loss"], _canon_links(params["links"]))
+
+
+#: Process-default schedule override: when set, every new
+#: :class:`FaultInjector` passes ``(network, schedule)`` through the
+#: factory and executes what it returns instead.  This is the fuzzer's
+#: injection point — a campaign swaps a workload's hand-written
+#: schedule for a generated candidate without the workload knowing.
+_schedule_override: Optional[Callable[..., "FaultSchedule"]] = None
+
+
+def get_schedule_override() -> Optional[Callable[..., "FaultSchedule"]]:
+    """The active override factory (``None`` outside a fuzz campaign)."""
+    return _schedule_override
+
+
+def set_schedule_override(
+        factory: Optional[Callable[..., "FaultSchedule"]]
+) -> Optional[Callable[..., "FaultSchedule"]]:
+    """Install ``factory`` as the override; returns the previous one."""
+    global _schedule_override
+    previous = _schedule_override
+    _schedule_override = factory
+    return previous
+
+
+@contextlib.contextmanager
+def use_schedule_override(factory: Callable[..., "FaultSchedule"]):
+    """Scope ``factory`` as the schedule override, restoring on exit."""
+    previous = set_schedule_override(factory)
+    try:
+        yield factory
+    finally:
+        set_schedule_override(previous)
 
 
 class FaultInjector:
@@ -230,6 +433,9 @@ class FaultInjector:
                  name: str = "fault-injector") -> None:
         self.env = env
         self.network = network
+        override = get_schedule_override()
+        if override is not None:
+            schedule = override(network, schedule)
         self.schedule = schedule
         self.name = name
         self.log: List[Dict[str, Any]] = []

@@ -1,0 +1,252 @@
+"""Delta-debugging shrinker for fault schedules.
+
+A fuzzed failure usually arrives wrapped in noise: five faults injected,
+one of them the trigger.  :func:`shrink_schedule` minimizes the event
+list with classic ddmin (Zeller's delta debugging over the ordered
+event records), then attacks the surviving events one by one — rounding
+times, closing onset→lift gaps, dropping nodes from partition groups
+and targets from impairment lists — while the caller's ``test``
+predicate keeps returning "still fails the same way".
+
+The predicate receives a candidate list of event dicts (the
+``FaultSchedule.to_dict()["events"]`` shape) and must return ``True``
+when the candidate still reproduces the original failure.  Candidates
+that fail schedule validation are simply "does not reproduce".  Every
+probe is counted and cached, and a test budget bounds the whole search,
+so shrinking a pathological case degrades to "less minimal", never to
+"runs forever".
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.faults.schedule import LIFT_KINDS
+
+Event = Dict[str, Any]
+Test = Callable[[List[Event]], bool]
+
+
+class _BudgetedTest:
+    """Counts, caches and budget-caps probe executions."""
+
+    def __init__(self, test: Test, budget: int) -> None:
+        self._test = test
+        self.budget = budget
+        self.tests_run = 0
+        self._cache: Dict[str, bool] = {}
+
+    @property
+    def exhausted(self) -> bool:
+        return self.tests_run >= self.budget
+
+    def __call__(self, events: List[Event]) -> bool:
+        key = json.dumps(events, sort_keys=True)
+        if key in self._cache:
+            return self._cache[key]
+        if self.exhausted:
+            return False  # out of budget: treat as "not reproduced"
+        self.tests_run += 1
+        verdict = bool(self._test(events))
+        self._cache[key] = verdict
+        return verdict
+
+
+def ddmin(items: List[Event], test: Test,
+          budget: Optional[int] = None) -> Tuple[List[Event], int]:
+    """Zeller's ddmin: a 1-minimal failing subset of ``items``.
+
+    Returns ``(minimal_items, tests_run)``.  ``test`` must hold for the
+    full list; if it does not, the input is returned unchanged (zero
+    confidence beats a wrong answer).  The result is 1-minimal within
+    budget: removing any single remaining item stops the failure.
+    """
+    probe = test if isinstance(test, _BudgetedTest) \
+        else _BudgetedTest(test, budget if budget is not None else 1 << 30)
+    if not probe(list(items)):
+        return list(items), probe.tests_run
+    current = list(items)
+    granularity = 2
+    while len(current) >= 2 and not probe.exhausted:
+        chunk = max(1, len(current) // granularity)
+        chunks = [current[i:i + chunk]
+                  for i in range(0, len(current), chunk)]
+        reduced = False
+        for index, subset in enumerate(chunks):
+            if len(subset) < len(current) and probe(subset):
+                current = subset
+                granularity = 2
+                reduced = True
+                break
+            complement = [event
+                          for j, other in enumerate(chunks)
+                          if j != index
+                          for event in other]
+            if complement and len(complement) < len(current) \
+                    and probe(complement):
+                current = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current, probe.tests_run
+
+
+def _lift_key(kind: str, event: Event) -> Optional[Tuple[Any, ...]]:
+    """A matchable identity for onset/lift pairing (ddmin output)."""
+    if kind in ("link-down", "link-up"):
+        return ("link",) + tuple(sorted((event["a"], event["b"])))
+    if kind in ("partition", "heal"):
+        return ("partition", event["name"])
+    if kind in ("node-crash", "node-restart"):
+        return ("node", event["node"])
+    if kind in ("latency-storm", "latency-calm"):
+        return ("latency", event["scale"],
+                json.dumps(event.get("links"), sort_keys=True))
+    if kind in ("loss-burst", "loss-calm"):
+        return ("loss", event["extra_loss"],
+                json.dumps(event.get("links"), sort_keys=True))
+    return None
+
+
+def _pairs(events: List[Event]) -> List[Tuple[int, int]]:
+    """Indices of (onset, lift) pairs, matched first-in-first-lifted."""
+    open_onsets: Dict[Tuple[Any, ...], List[int]] = {}
+    pairs: List[Tuple[int, int]] = []
+    for index, event in enumerate(events):
+        kind = event["kind"]
+        key = _lift_key(kind, event)
+        if key is None:
+            continue
+        if kind in LIFT_KINDS:
+            open_onsets.setdefault(key, []).append(index)
+        else:
+            waiting = open_onsets.get(key)
+            if waiting:
+                pairs.append((waiting.pop(0), index))
+    return pairs
+
+
+def _replace(events: List[Event], index: int, **fields: Any
+             ) -> List[Event]:
+    candidate = [dict(event) for event in events]
+    candidate[index].update(fields)
+    return candidate
+
+
+def _try(probe: _BudgetedTest, current: List[Event],
+         candidate: List[Event]) -> Tuple[List[Event], bool]:
+    if candidate != current and probe(candidate):
+        return candidate, True
+    return current, False
+
+
+def _reduce_times(events: List[Event], probe: _BudgetedTest
+                  ) -> List[Event]:
+    """Round event times to integers where the failure allows it."""
+    current = events
+    for index in range(len(current)):
+        if probe.exhausted:
+            break
+        at = current[index]["at"]
+        rounded = float(int(at))
+        if rounded != at:
+            current, _ = _try(probe, current,
+                              _replace(current, index, at=rounded))
+    return current
+
+
+def _reduce_gaps(events: List[Event], probe: _BudgetedTest,
+                 quantum: float) -> List[Event]:
+    """Pull each lift toward its onset (shorter failing durations)."""
+    current = events
+    changed = True
+    while changed and not probe.exhausted:
+        changed = False
+        for onset_index, lift_index in _pairs(current):
+            onset_at = current[onset_index]["at"]
+            lift_at = current[lift_index]["at"]
+            gap = lift_at - onset_at
+            if gap <= quantum:
+                continue
+            for target in (onset_at + max(quantum, gap / 2.0),
+                           onset_at + quantum):
+                if target >= lift_at:
+                    continue
+                current, moved = _try(
+                    probe, current,
+                    _replace(current, lift_index, at=target))
+                if moved:
+                    changed = True
+                    break
+    return current
+
+
+def _reduce_targets(events: List[Event], probe: _BudgetedTest
+                    ) -> List[Event]:
+    """Drop nodes from partition groups and links from impairments."""
+    current = events
+    for index in range(len(current)):
+        if probe.exhausted:
+            break
+        event = current[index]
+        if event["kind"] == "partition":
+            groups = event["groups"]
+            for group_index, group in enumerate(groups):
+                for node in list(group):
+                    if len(current[index]["groups"][group_index]) <= 1:
+                        break
+                    slimmed = [list(g)
+                               for g in current[index]["groups"]]
+                    slimmed[group_index] = \
+                        [n for n in slimmed[group_index] if n != node]
+                    current, _ = _try(
+                        probe, current,
+                        _replace(current, index, groups=slimmed))
+        elif event.get("links"):
+            for pair in list(event["links"]):
+                if len(current[index].get("links") or []) <= 1:
+                    break
+                slimmed_links = [list(p)
+                                 for p in current[index]["links"]
+                                 if list(p) != list(pair)]
+                current, _ = _try(
+                    probe, current,
+                    _replace(current, index, links=slimmed_links))
+    return current
+
+
+def shrink_schedule(events: List[Event], test: Test,
+                    budget: int = 400,
+                    quantum: float = 0.25) -> Dict[str, Any]:
+    """Minimize a failing event list; a JSON-safe shrink report.
+
+    Phases: ddmin over the event list, then time rounding, onset→lift
+    gap closing and per-event target reduction, repeated in that order
+    until nothing improves or the test budget runs out.  The report
+    carries the minimized events plus search statistics (probe count,
+    event counts before/after, whether the budget was exhausted).
+    """
+    probe = _BudgetedTest(test, budget)
+    before = len(events)
+    current = [dict(event) for event in events]
+    if not probe(current):
+        return {"events": current, "reproduced": False,
+                "events_before": before, "events_after": before,
+                "tests_run": probe.tests_run, "budget": budget,
+                "budget_exhausted": probe.exhausted}
+    previous = None
+    while previous != current and not probe.exhausted:
+        previous = current
+        current, _ = ddmin(current, probe)
+        current = _reduce_times(current, probe)
+        current = _reduce_gaps(current, probe, quantum)
+        current = _reduce_targets(current, probe)
+    return {"events": current, "reproduced": True,
+            "events_before": before, "events_after": len(current),
+            "tests_run": probe.tests_run, "budget": budget,
+            "budget_exhausted": probe.exhausted}

@@ -21,10 +21,29 @@ from repro.faults.policies import (
 )
 from repro.net.network import Host
 from repro.net.packet import Packet
-from repro.obs.metrics import BoundCounterCache
+from repro.obs.metrics import BoundCounterCache, get_metrics
 from repro.obs.propagation import extract, inject
 from repro.obs.tracer import get_tracer
 from repro.sim import Event, Store
+
+
+def _gauge_set(name: str, node: str, value: int, at: float) -> None:
+    """Record a gauge sample, tolerating ambient-registry reuse.
+
+    Instrumentation writes to whatever registry is ambient.  The
+    process-default registry outlives simulation environments, so a
+    fresh environment's t=0 can sit "before" samples an earlier
+    environment already recorded; a time-series gauge rejects that.
+    Workloads that read these gauges install a scoped registry per run
+    (where time is monotonic), so dropping the out-of-order sample only
+    affects the throwaway default.
+    """
+    gauge = get_metrics().gauge(name, node=node)
+    series = getattr(gauge, "series", None)
+    if series is not None and series.samples \
+            and at < series.samples[-1][0]:
+        return
+    gauge.set(value, at=at)
 
 
 class ReliableChannel:
@@ -65,6 +84,10 @@ class ReliableChannel:
         #: Sends abandoned after exhausting every retry
         #: (``chan.gave_up`` in the registry).
         self.gave_up = 0
+        #: Sends started but not yet acked or abandoned — the liveness
+        #: oracle's view of operations that never resolved (mirrored as
+        #: the ``chan.inflight`` gauge).
+        self._inflight = 0
         self._retry_counters = BoundCounterCache(
             "chan.retries", "dst", node=host.name)
         self._gave_up_counters = BoundCounterCache(
@@ -88,6 +111,21 @@ class ReliableChannel:
         """An event yielding the next in-order packet from any sender."""
         return self._app_inbox.get()
 
+    def inflight(self) -> int:
+        """Sends still awaiting an ack (not yet succeeded or given up).
+
+        A send mid-backoff counts: the operation is unresolved even
+        though no retransmission is currently on the wire.  After a
+        drained run (all faults lifted, senders stopped) this must be
+        zero — the liveness property the fuzzer's oracle checks.
+        """
+        return self._inflight
+
+    def _track(self, delta: int) -> None:
+        self._inflight += delta
+        _gauge_set("chan.inflight", self.host.name, self._inflight,
+                   self.env.now)
+
     # -- internals ---------------------------------------------------------
 
     def _send_proc(self, dst: str, payload: Any, size: int, done: Event,
@@ -95,6 +133,7 @@ class ReliableChannel:
         if dst not in self._seq:
             self._seq[dst] = itertools.count(1)
         seq = next(self._seq[dst])
+        self._track(+1)
         span = get_tracer().start_span(
             "chan.send", at=self.env.now, parent=parent,
             node=self.host.name, dst=dst, seq=seq)
@@ -118,11 +157,13 @@ class ReliableChannel:
                 [ack, self.env.timeout(self.backoff.delay(attempts))])
             if ack in result:
                 self._pending_acks.pop((dst, seq), None)
+                self._track(-1)
                 span.finish(at=self.env.now)
                 done.succeed(seq)
                 return
             attempts += 1
         self._pending_acks.pop((dst, seq), None)
+        self._track(-1)
         self.gave_up += 1
         self._gave_up_counters.get(dst).add()
         span.set_status("error")
@@ -195,6 +236,11 @@ class RpcEndpoint:
         self._calls: Dict[int, Event] = {}
         self._call_ids = itertools.count(1)
         self.calls_served = 0
+        #: Logical calls started but not yet resolved (succeeded or
+        #: failed) — includes calls waiting out a retry backoff, when
+        #: nothing is on the wire.  Mirrored as the ``rpc.inflight``
+        #: gauge for the dashboard and the fuzzer's liveness oracle.
+        self._inflight = 0
         self._retry_counters = BoundCounterCache(
             "rpc.retries", "dst", node=host.name)
         host.on_packet(port, self._on_packet)
@@ -218,6 +264,15 @@ class RpcEndpoint:
             parent))
         return done
 
+    def inflight(self) -> int:
+        """Calls started but not yet resolved (see ``rpc.inflight``)."""
+        return self._inflight
+
+    def _track(self, delta: int) -> None:
+        self._inflight += delta
+        _gauge_set("rpc.inflight", self.host.name, self._inflight,
+                   self.env.now)
+
     # -- internals ---------------------------------------------------------
 
     def _call_proc(self, dst: str, method: str, args: Any,
@@ -229,12 +284,14 @@ class RpcEndpoint:
         span = get_tracer().start_span(
             "rpc.call", at=self.env.now, parent=parent,
             node=self.host.name, dst=dst, method=method)
+        self._track(+1)
         attempt = 0
         while True:
             if breaker is not None and not breaker.allow(dst):
                 span.set_status("error")
                 span.set_attribute("error", "circuit-open")
                 span.finish(at=self.env.now)
+                self._track(-1)
                 done.fail(CircuitOpenError(
                     "circuit to {} is open; {} not attempted".format(
                         dst, method)))
@@ -262,6 +319,7 @@ class RpcEndpoint:
                     # timeouts accrue toward opening the circuit.
                     breaker.record_success(dst)
                 span.finish(at=self.env.now)
+                self._track(-1)
                 if ok:
                     done.succeed(value)
                 else:
@@ -280,6 +338,7 @@ class RpcEndpoint:
                 span.set_status("error")
                 span.set_attribute("error", "timeout")
                 span.finish(at=self.env.now)
+                self._track(-1)
                 done.fail(RpcError(
                     "call {} to {} timed out after {:g}s".format(
                         method, dst, timeout)))

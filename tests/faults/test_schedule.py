@@ -237,3 +237,124 @@ def test_empty_schedule_is_inert(env):
     env.run(until=2.0)
     assert injector.log == []
     assert injector.links_down == 0
+
+
+# -- serialisation round-trip (from_dict) ------------------------------------
+
+
+def test_schedule_round_trips_through_dict():
+    schedule = FaultSchedule()
+    schedule.link_flap(1.0, "a", "b", count=2, period=2.0)
+    schedule.partition(2.0, [["a"], ["b", "c"]], name="p", heal_at=6.0)
+    schedule.node_crash(3.0, "c", restart_at=5.0)
+    schedule.loss_burst(4.0, 0.3, 1.5, links=[("a", "c")])
+    data = schedule.to_dict()
+    rebuilt = FaultSchedule.from_dict(data)
+    assert rebuilt.to_dict() == data
+    # Round-trip again: canonical form is a fixed point.
+    assert FaultSchedule.from_dict(rebuilt.to_dict()).to_dict() == data
+
+
+def test_from_dict_errors_name_the_offending_event():
+    good = {"at": 1.0, "kind": "link-down", "a": "a", "b": "b"}
+    with pytest.raises(SimulationError) as err:
+        FaultSchedule.from_dict({"events": [
+            good, {"at": 2.0, "kind": "link-down", "a": "a"}]})
+    message = err.value.args[0]
+    assert "event 1" in message and "'b'" in message
+
+    with pytest.raises(SimulationError) as err:
+        FaultSchedule.from_dict({"events": [
+            good, good, {"at": -1.0, "kind": "heal", "name": "p"}]})
+    assert "event 2" in err.value.args[0]
+
+    with pytest.raises(SimulationError) as err:
+        FaultSchedule.from_dict({"events": [
+            {"at": 0.5, "kind": "meteor-strike"}]})
+    message = err.value.args[0]
+    assert "event 0" in message and "meteor-strike" in message
+
+
+def test_from_dict_validates_param_types():
+    with pytest.raises(SimulationError) as err:
+        FaultSchedule.from_dict({"events": [
+            {"at": 1.0, "kind": "partition", "name": "p",
+             "groups": [["a"]]}]})
+    assert "two groups" in err.value.args[0]
+
+    with pytest.raises(SimulationError) as err:
+        FaultSchedule.from_dict({"events": [
+            {"at": 1.0, "kind": "loss-burst", "extra_loss": 1.5,
+             "links": None}]})
+    assert "(0, 1)" in err.value.args[0]
+
+    with pytest.raises(SimulationError) as err:
+        FaultSchedule.from_dict({"events": [
+            {"at": 1.0, "kind": "latency-storm", "scale": 2.0,
+             "links": [["a", "b", "c"]]}]})
+    assert "[a, b] pair" in err.value.args[0]
+
+
+def test_from_dict_rejects_non_schedule_shapes():
+    with pytest.raises(SimulationError):
+        FaultSchedule.from_dict({"not-events": []})
+    with pytest.raises(SimulationError):
+        FaultSchedule.from_dict({"events": "nope"})
+    with pytest.raises(SimulationError):
+        FaultSchedule.from_dict({"events": ["not-a-dict"]})
+
+
+# -- balance and lift introspection ------------------------------------------
+
+
+def test_balanced_requires_matching_lifts():
+    schedule = FaultSchedule()
+    schedule.link_down(1.0, "a", "b", up_at=3.0)
+    schedule.node_crash(2.0, "c", restart_at=4.0)
+    assert schedule.balanced()
+    assert schedule.last_lift_at() == 4.0
+
+    unbalanced = FaultSchedule()
+    unbalanced.link_down(1.0, "a", "b")
+    assert not unbalanced.balanced()
+
+    # A lift for a *different* target does not balance the onset.
+    mismatched = FaultSchedule()
+    mismatched.link_down(1.0, "a", "b")
+    mismatched.link_up(2.0, "a", "c")
+    assert not mismatched.balanced()
+
+
+def test_empty_schedule_is_balanced():
+    schedule = FaultSchedule()
+    assert schedule.balanced()
+    assert schedule.last_lift_at() == 0.0
+
+
+# -- the ambient schedule override -------------------------------------------
+
+
+def test_schedule_override_swaps_injected_schedule(env):
+    from repro.faults.schedule import use_schedule_override
+
+    net = triangle(env)
+    original = FaultSchedule()
+    original.link_down(1.0, "a", "b", up_at=2.0)
+    swapped = FaultSchedule()
+    swapped.link_down(1.0, "b", "c", up_at=2.0)
+    seen = {}
+
+    def factory(network, schedule):
+        seen["network"] = network
+        seen["schedule"] = schedule
+        return swapped
+
+    with use_schedule_override(factory):
+        injector = FaultInjector(env, net, original)
+    assert injector.schedule is swapped
+    assert seen["network"] is net
+    assert seen["schedule"] is original
+
+    # Outside the scope the override is gone.
+    later = FaultInjector(env, net, original)
+    assert later.schedule is original
