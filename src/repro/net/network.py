@@ -5,12 +5,27 @@ A :class:`Network` wraps a :class:`~repro.net.topology.Topology` and moves
 Each packet is driven by its own simulation process: per link it serialises
 on the directional channel (transmission delay), then waits the propagation
 delay, and may be dropped by the link's loss model.
+
+Burst-carry (PR 10): the default carry fuses each hop's channel claim
+with its transmission wait into *one* queued event (the grant is
+virtually accounted — see :class:`~repro.sim.resources.Request`), elides
+the accepted-put event on inbox delivery and the carrier's own no-op end
+event, and accumulates the per-packet/per-hop instruments into local
+cells flushed at registry-read/window boundaries instead of per packet.
+A storm of same-link packets therefore costs roughly half the queued
+events of the PR 5 shape while keeping every scheduling counter, RNG
+draw order and delivery time byte-identical — the replay-digest sweep in
+``tests/net/test_burst_carry.py`` proves it against the legacy carry,
+which stays available via ``Network(..., burst_carry=False)`` (and
+process-wide via :func:`use_burst_carry`) for baselines and A/B proofs.
 """
 
 from __future__ import annotations
 
+import contextlib
+from bisect import insort
 from heapq import heappush
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import NetworkError, RoutingError
 from repro.net.packet import Packet
@@ -24,18 +39,61 @@ from repro.sim.environment import _NORMAL_BASE
 from repro.sim.resources import PriorityRequest
 
 _new_timeout = Timeout.__new__
+_new_process = Process.__new__
+_new_claim = PriorityRequest.__new__
+
+
+class _SyncStart:
+    """Pre-fired stub fed to ``Process._resume`` for synchronous starts.
+
+    Stands in for the Initialize event a queued start would have popped:
+    permanently ok with a None value, which is exactly what a fresh
+    generator's first ``send`` expects.
+    """
+
+    __slots__ = ()
+    _ok = True
+    _value = None
+
+
+_SYNC_START = _SyncStart()
 
 #: Default packet priority; QoS-reserved flows use lower (better) values.
 BEST_EFFORT_PRIORITY = 10
 RESERVED_PRIORITY = 0
 
+_burst_default = True
+
+
+def set_burst_carry(enabled: bool) -> bool:
+    """Set whether new :class:`Network` objects default to burst-carry.
+
+    Returns the previous default.  Exists for A/B digest proofs and
+    interleaved same-machine baselines; production code leaves it on.
+    """
+    global _burst_default
+    previous = _burst_default
+    _burst_default = bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def use_burst_carry(enabled: bool) -> Iterator[bool]:
+    """Scope the burst-carry default, restoring the previous on exit."""
+    previous = set_burst_carry(enabled)
+    try:
+        yield enabled
+    finally:
+        set_burst_carry(previous)
+
 
 class _BoundNetInstruments:
     """Per-registry bound handles for the per-packet/per-hop instruments.
 
-    A :class:`Network` keeps one of these per registry identity so the
-    keyed lookups (``tuple(sorted(...))`` + ``str()`` per call) happen once
-    per binding instead of once per packet.  Handles stay valid for the
+    The legacy (``burst_carry=False``) carry keeps one of these per
+    registry identity so the keyed lookups (``tuple(sorted(...))`` +
+    ``str()`` per call) happen once per binding instead of once per
+    packet, exactly as PR 5 shipped it.  Handles stay valid for the
     registry that created them even if the network later rebinds, so a
     packet in flight across a registry swap keeps recording where it
     started — exactly what per-call keyed lookups used to do.
@@ -55,6 +113,99 @@ class _BoundNetInstruments:
         self.node_sent: Dict[str, Any] = {}
         #: destination node -> bound ``net.node.delivered`` counter.
         self.node_delivered: Dict[str, Any] = {}
+
+
+class _NetMetricCells:
+    """Local accumulation cells for the per-packet/per-hop instruments.
+
+    The batched-metrics layer: the hot path pays one int add (or one
+    dict get/set for labelled counts) per record instead of a bound-
+    instrument method call, and the cells fold into the real registry
+    instruments only when somebody reads — every
+    :class:`~repro.obs.metrics.MetricsRegistry` read path runs its
+    flush hooks first, so the timeline recorder's window-boundary reads
+    (riding ``set_window_hook``) and the SLO evaluators always see
+    fresh values while the storm itself schedules zero flush events.
+    Flush order is sorted, so snapshots stay hash-seed stable.
+    """
+
+    __slots__ = ("registry", "network", "sent", "delivered", "latencies",
+                 "node_sent", "node_delivered", "link_bytes",
+                 "drops", "link_drops",
+                 "_sent_inst", "_delivered_inst", "_latency_inst")
+
+    def __init__(self, network: "Network",
+                 registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.network = network
+        self._sent_inst = registry.bind_counter("net.sent")
+        self._delivered_inst = registry.bind_counter("net.delivered")
+        self._latency_inst = registry.bind_histogram("net.delivery_latency")
+        self.sent = 0
+        self.delivered = 0
+        #: delivery latencies in record order (tally order is observable
+        #: through Tally.values, so the flush preserves it).
+        self.latencies: List[float] = []
+        #: source node -> pending ``net.node.sent`` adds.
+        self.node_sent: Dict[str, int] = {}
+        #: destination node -> pending ``net.node.delivered`` adds.
+        self.node_delivered: Dict[str, int] = {}
+        #: link label -> pending ``net.bytes`` adds.
+        self.link_bytes: Dict[str, int] = {}
+        #: reason -> pending ``net.drops`` adds.  Going through the
+        #: keyed factory per drop would flush every cell mid-storm
+        #: (factories flush so reads stay fresh) — a chaos schedule's
+        #: drop burst must not pay that.
+        self.drops: Dict[str, int] = {}
+        #: (link label, reason) -> pending ``net.link.drops`` adds.
+        self.link_drops: Dict[Tuple[str, str], int] = {}
+        registry.add_flush_hook(self.flush)
+
+    def flush(self) -> None:
+        """Fold every pending cell into the registry instruments."""
+        count = self.sent
+        if count:
+            self.sent = 0
+            self._sent_inst.add(count)
+            counts = self.network._counters._counts
+            counts["sent"] = counts.get("sent", 0) + count
+        count = self.delivered
+        if count:
+            self.delivered = 0
+            self._delivered_inst.add(count)
+            counts = self.network._counters._counts
+            counts["delivered"] = counts.get("delivered", 0) + count
+        registry = self.registry
+        if self.node_sent:
+            for node, count in sorted(self.node_sent.items()):
+                registry.counter("net.node.sent", node=node).add(count)
+            self.node_sent.clear()
+        if self.node_delivered:
+            for node, count in sorted(self.node_delivered.items()):
+                registry.counter("net.node.delivered",
+                                 node=node).add(count)
+            self.node_delivered.clear()
+        if self.link_bytes:
+            for label, count in sorted(self.link_bytes.items()):
+                registry.counter("net.bytes", link=label).add(count)
+            self.link_bytes.clear()
+        if self.drops:
+            for reason, count in sorted(self.drops.items()):
+                registry.counter("net.drops", reason=reason).add(count)
+            self.drops.clear()
+        if self.link_drops:
+            for (label, reason), count in sorted(self.link_drops.items()):
+                registry.counter("net.link.drops", link=label,
+                                 reason=reason).add(count)
+            self.link_drops.clear()
+        values = self.latencies
+        if values:
+            self.latencies = []
+            record = self._latency_inst.record
+            tally_record = self.network._delivery_latency.record
+            for value in values:
+                tally_record(value)
+                record(value)
 
 
 class Host:
@@ -104,6 +255,10 @@ class Host:
         handler = self._handlers.get(packet.port)
         if handler is not None:
             handler(packet)
+        elif self.network._burst:
+            # The put event is discarded here, so Store.put_fast elides
+            # it (virtually accounted — digests cannot tell).
+            self.inbox(packet.port).put_fast(packet)
         else:
             self.inbox(packet.port).put(packet)
 
@@ -116,14 +271,15 @@ class Network:
 
     def __init__(self, env: Environment, topology: Topology,
                  tracer=None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 burst_carry: Optional[bool] = None) -> None:
         if topology.env is not env:
             raise NetworkError("topology belongs to a different environment")
         self.env = env
         self.topology = topology
         self.hosts: Dict[str, Host] = {}
-        self.counters = Counter()
-        self.delivery_latency = Tally("delivery-latency")
+        self._counters = Counter()
+        self._delivery_latency = Tally("delivery-latency")
         #: Optional hook called with (packet, reason) on every drop.
         self.on_drop: Optional[Callable[[Packet, str], None]] = None
         #: Per-reason drop tally behind :meth:`drop_stats`.
@@ -132,9 +288,36 @@ class Network:
         # resolved per packet so tracing can be enabled mid-run.
         self._tracer = tracer
         self._metrics = metrics
-        # Bound-instrument cache, rebound whenever the resolved registry's
-        # identity changes (use_metrics scoping, mid-run enablement).
+        # Bound-instrument cache for the legacy carry, rebound whenever
+        # the resolved registry's identity changes (use_metrics scoping,
+        # mid-run enablement).
         self._bound: Optional[_BoundNetInstruments] = None
+        # Metric cells for the burst carry: current binding plus every
+        # binding ever made, so counters/delivery_latency reads can
+        # flush stragglers from before a registry swap.
+        self._cells: Optional[_NetMetricCells] = None
+        self._all_cells: List[_NetMetricCells] = []
+        self._burst = _burst_default if burst_carry is None \
+            else bool(burst_carry)
+
+    @property
+    def burst_carry(self) -> bool:
+        """Whether this network runs the fused burst-carry fast path."""
+        return self._burst
+
+    @property
+    def counters(self) -> Counter:
+        """Legacy sent/delivered/dropped counts (cells flushed first)."""
+        for cells in self._all_cells:
+            cells.flush()
+        return self._counters
+
+    @property
+    def delivery_latency(self) -> Tally:
+        """End-to-end delivery latencies (cells flushed first)."""
+        for cells in self._all_cells:
+            cells.flush()
+        return self._delivery_latency
 
     def host(self, name: str) -> Host:
         """Create (or fetch) the host attached to topology node ``name``."""
@@ -146,18 +329,241 @@ class Network:
 
     def transmit(self, packet: Packet) -> None:
         """Launch the per-packet delivery process."""
-        # Counter.incr inlined here and at the delivery tail (one call
-        # per packet each way).
-        counts = self.counters._counts
-        counts["sent"] = counts.get("sent", 0) + 1
-        # Process(...) directly rather than env.process(...): carriers are
-        # never named actors, so the wrapper's name/tracer handling is
-        # pure per-packet overhead.
-        Process(self.env, self._carry(packet))
+        # Process(...) directly rather than env.process(...): carriers
+        # are never named actors, so the wrapper's name/tracer handling
+        # is pure per-packet overhead.
+        if self._burst:
+            # Detached: nobody subscribes to a carrier, so its end
+            # event is elided and virtually accounted (see
+            # Process._resume); failures still escalate.  The sent
+            # counters live in the carry's cells.
+            env = self.env
+            if env._active_process is not None:
+                # Synchronous start: transmit() was called from inside
+                # the run loop (the storm hot path), where an URGENT
+                # Initialize at the current instant would pop before
+                # any pending NORMAL event anyway — so the generator is
+                # primed right here and the Initialize is elided and
+                # virtually accounted (eid + processed land at this
+                # instant, where the queued start would have allocated
+                # and popped it).  Setup-time sends (no active process)
+                # keep the queued start, so code that mutates links
+                # between send() and run() observes no change.
+                carrier = _new_process(Process)
+                carrier.env = env
+                carrier.callbacks = []
+                carrier._value = None
+                carrier._exception = None
+                carrier._ok = None
+                carrier.defused = False
+                carrier._generator = self._carry(packet)
+                carrier.span = None
+                carrier._detached = True
+                carrier._target = None
+                env._eid += 1
+                env.events_processed += 1
+                carrier._resume(_SYNC_START)
+            else:
+                carrier = Process(env, self._carry(packet))
+                carrier._detached = True
+        else:
+            # Counter.incr inlined here and at the delivery tail (one
+            # call per packet each way).
+            counts = self._counters._counts
+            counts["sent"] = counts.get("sent", 0) + 1
+            Process(self.env, self._carry_legacy(packet))
 
     # repro: fast-path — per-packet hot loop; no 'with ...request()'
     # claims here (repro.analysis.protocol enforces RPR204).
     def _carry(self, packet: Packet):
+        """Burst-carry: fused claim+tx, elided no-ops, celled metrics.
+
+        Behaviour — RNG draw order, grant/release instants, delivery
+        times, every digest-covered counter — is byte-identical to
+        :meth:`_carry_legacy`; only the number of *queued* (vs
+        virtually-accounted) events and the instrument write path
+        differ.  Physics stays inlined from link.py (sync notice
+        there).
+        """
+        env = self.env
+        tracer = self._tracer if self._tracer is not None else get_tracer()
+        metrics = self._metrics if self._metrics is not None \
+            else get_metrics()
+        cells = self._cells
+        if cells is None or cells.registry is not metrics:
+            cells = self._cells = _NetMetricCells(self, metrics)
+            self._all_cells.append(cells)
+        cells.sent += 1
+        node_sent = cells.node_sent
+        src = packet.src
+        node_sent[src] = node_sent.get(src, 0) + 1
+        wire_size = packet.wire_size
+        if tracer.enabled:
+            span = tracer.start_span(
+                "net.transmit", at=env.now, parent=extract(packet.headers),
+                src=packet.src, dst=packet.dst, port=packet.port,
+                bytes=wire_size)
+        else:
+            span = NOOP_SPAN
+        try:
+            links = self.topology.path(packet.src, packet.dst)
+        except RoutingError:
+            self._drop(packet, "no-route", metrics, span, cells=cells)
+            return
+        node = packet.src
+        priority = packet.headers.get("priority", BEST_EFFORT_PRIORITY)
+        record_hops = span.is_recording
+        flight = env._flight
+        if flight is not None and not flight.journal_net:
+            flight = None
+        # `cells` (not self._cells) below: another packet may rebind the
+        # network to a different registry between our yields, but these
+        # cells stay tied to the registry this packet resolved.
+        link_bytes = cells.link_bytes
+        heap = env._heap
+        for link in links:
+            hop = tracer.start_span(
+                "net.link", at=env._now, parent=span,
+                link=link.label, node=node,
+                bytes=wire_size) if record_hops else None
+            # Claim+tx fusion: the channel claim carries the
+            # transmission delay, so the grant resumes this generator
+            # once, at tx-complete, instead of a grant pop plus a
+            # separate Timeout (the grant is virtually accounted — see
+            # Resource._grant).  Release point and the loss draw happen
+            # at the same instant as the unfused path.  The uncontended
+            # grant is built in place (sync: PriorityRequest.__init__'s
+            # fast branch); priority/time/seq stay unset — they only
+            # order *queued* claims, and this one was never queued.
+            delay = (wire_size * 8.0) / link.bandwidth
+            channel = link._channels[node]
+            if channel.users:
+                claim = PriorityRequest(channel, priority, delay)
+            else:
+                claim = _new_claim(PriorityRequest)
+                claim.env = env
+                claim.callbacks = []
+                claim._value = claim
+                claim._exception = None
+                claim._ok = True
+                claim.defused = False
+                claim.resource = channel
+                claim.requested_at = claim.usage_since = env._now
+                claim.grant_delay = delay
+                channel.users.append(claim)
+                env._eid += 2
+                env.events_processed += 1
+                key = _NORMAL_BASE + env._eid
+                time = env._now + delay
+                if heap is not None:
+                    heappush(heap, (time, key, claim))
+                else:
+                    # Inlined ladder push (sync: Environment._push).
+                    j = int((time - env._qstart) * env._qinvw)
+                    if j < env._qcursor:
+                        insort(env._qrun, (-time, -key, claim))
+                    else:
+                        buckets = env._qbuckets
+                        if j < len(buckets):
+                            buckets[j].append((-time, -key, claim))
+                        else:
+                            env._qover.append((-time, -key, claim))
+            yield claim
+            if hop is not None:
+                # usage_since marks the grant, so tx-start lands at the
+                # same sim time the unfused path stamped at its resume.
+                hop.add_event("tx-start", at=claim.usage_since)
+            # Resource.release inlined: the claim was just granted to
+            # this process, so it is always in users; only a non-empty
+            # wait queue needs the grant/sampling machinery.
+            channel.users.remove(claim)
+            if channel.queue:
+                channel._grant_waiters()
+            # Loss attribution mirrors Link.drops_packet: a downed link
+            # drops without drawing the RNG; otherwise one draw decides,
+            # and the drawn value splits baseline "loss" from fault-
+            # injected "impairment" (draws landing in the _extra_loss
+            # band) so drop_stats() tells the two apart.
+            drop_reason = None
+            if not link.up:
+                drop_reason = "link-down"
+            else:
+                probability = link.loss + link._extra_loss
+                if probability > 0:
+                    draw = link._rng.random()
+                    if draw < min(probability, 1.0):
+                        drop_reason = "loss" if draw < link.loss \
+                            else "impairment"
+            if drop_reason is not None:
+                link.stats.drops += 1
+                if hop is not None:
+                    hop.set_status("dropped")
+                    hop.finish(at=env._now)
+                self._drop(packet, drop_reason, metrics, span, link=link,
+                           cells=cells)
+                return
+            delay = link.latency * link._latency_scale
+            if link.jitter > 0:
+                delay += link._rng.uniform(0, link.jitter)
+            wait = _new_timeout(Timeout)
+            wait.env = env
+            wait.callbacks = []
+            wait._value = None
+            wait._exception = None
+            wait._ok = True
+            wait.defused = False
+            wait.delay = delay
+            env._eid += 1
+            key = _NORMAL_BASE + env._eid
+            time = env._now + delay
+            if heap is not None:
+                heappush(heap, (time, key, wait))
+            else:
+                # Inlined ladder push (sync: Environment._push).
+                j = int((time - env._qstart) * env._qinvw)
+                if j < env._qcursor:
+                    insort(env._qrun, (-time, -key, wait))
+                else:
+                    buckets = env._qbuckets
+                    if j < len(buckets):
+                        buckets[j].append((-time, -key, wait))
+                    else:
+                        env._qover.append((-time, -key, wait))
+            yield wait
+            stats = link.stats
+            stats.packets += 1
+            stats.bytes += wire_size
+            label = link.label
+            link_bytes[label] = link_bytes.get(label, 0) + wire_size
+            packet.hops += 1
+            if flight is not None:
+                flight.record_hop(link.label, node, packet.src, packet.dst,
+                                  packet.port, span=hop)
+            node = link.b if node == link.a else link.a
+            if hop is not None:
+                hop.finish(at=env._now)
+        target = self.hosts.get(packet.dst)
+        if target is None:
+            self._drop(packet, "no-host", metrics, span, cells=cells)
+            return
+        cells.delivered += 1
+        node_delivered = cells.node_delivered
+        dst = packet.dst
+        node_delivered[dst] = node_delivered.get(dst, 0) + 1
+        cells.latencies.append(env._now - packet.created_at)
+        span.finish(at=env._now)
+        target._deliver(packet)
+
+    # repro: fast-path — per-packet hot loop; no 'with ...request()'
+    # claims here (repro.analysis.protocol enforces RPR204).
+    def _carry_legacy(self, packet: Packet):
+        """The PR 5 carry, kept verbatim for baselines and A/B proofs.
+
+        One grant pop plus one Timeout per hop, one put and one end
+        event per packet, bound instruments written per packet — the
+        shape BENCH_PR10.json's interleaved baselines (and the burst
+        on/off digest sweep) run against.
+        """
         env = self.env
         tracer = self._tracer if self._tracer is not None else get_tracer()
         metrics = self._metrics if self._metrics is not None \
@@ -207,7 +613,7 @@ class Network:
         # network to a different registry between our yields, but these
         # handles stay tied to the registry this packet resolved.
         link_bytes = bound.link_bytes
-        queue = env._queue
+        heap = env._heap
         for link in links:
             hop = tracer.start_span(
                 "net.link", at=env._now, parent=span,
@@ -240,8 +646,21 @@ class Network:
             wait.defused = False
             wait.delay = delay
             env._eid += 1
-            heappush(queue, (env._now + delay, _NORMAL_BASE + env._eid,
-                             wait))
+            key = _NORMAL_BASE + env._eid
+            time = env._now + delay
+            if heap is not None:
+                heappush(heap, (time, key, wait))
+            else:
+                # Inlined ladder push (sync: Environment._push).
+                j = int((time - env._qstart) * env._qinvw)
+                if j < env._qcursor:
+                    insort(env._qrun, (-time, -key, wait))
+                else:
+                    buckets = env._qbuckets
+                    if j < len(buckets):
+                        buckets[j].append((-time, -key, wait))
+                    else:
+                        env._qover.append((-time, -key, wait))
             yield wait
             # Resource.release inlined: the claim was just granted to this
             # process, so it is always in users; only a non-empty wait
@@ -284,8 +703,21 @@ class Network:
             wait.defused = False
             wait.delay = delay
             env._eid += 1
-            heappush(queue, (env._now + delay, _NORMAL_BASE + env._eid,
-                             wait))
+            key = _NORMAL_BASE + env._eid
+            time = env._now + delay
+            if heap is not None:
+                heappush(heap, (time, key, wait))
+            else:
+                # Inlined ladder push (sync: Environment._push).
+                j = int((time - env._qstart) * env._qinvw)
+                if j < env._qcursor:
+                    insort(env._qrun, (-time, -key, wait))
+                else:
+                    buckets = env._qbuckets
+                    if j < len(buckets):
+                        buckets[j].append((-time, -key, wait))
+                    else:
+                        env._qover.append((-time, -key, wait))
             yield wait
             stats = link.stats
             stats.packets += 1
@@ -306,7 +738,7 @@ class Network:
         if target is None:
             self._drop(packet, "no-host", metrics, span)
             return
-        counts = self.counters._counts
+        counts = self._counters._counts
         counts["delivered"] = counts.get("delivered", 0) + 1
         bound.delivered.add()
         node_delivered = bound.node_delivered.get(packet.dst)
@@ -315,26 +747,36 @@ class Network:
                 metrics.bind_counter("net.node.delivered", node=packet.dst)
         node_delivered.add()
         latency = env._now - packet.created_at
-        self.delivery_latency.record(latency)
+        self._delivery_latency.record(latency)
         bound.latency.record(latency)
         span.finish(at=env._now)
         target._deliver(packet)
 
     def _drop(self, packet: Packet, reason: str,
               metrics: Optional[MetricsRegistry] = None,
-              span=None, link=None) -> None:
-        self.counters.incr("dropped")
-        self.counters.incr("dropped:" + reason)
+              span=None, link=None, cells=None) -> None:
+        self._counters.incr("dropped")
+        self._counters.incr("dropped:" + reason)
         self._drop_reasons[reason] = self._drop_reasons.get(reason, 0) + 1
-        if metrics is None:
-            metrics = self._metrics if self._metrics is not None \
-                else get_metrics()
-        metrics.counter("net.drops", reason=reason).add()
-        if link is not None:
-            # Per-link, per-reason attribution: the "drops" column in
-            # the dashboard's link table rolls this up.
-            metrics.counter("net.link.drops", link=link.label,
-                            reason=reason).add()
+        if cells is not None:
+            # Burst carry: accumulate — the keyed factories flush every
+            # cell on entry, which a loss burst must not pay per drop.
+            drops = cells.drops
+            drops[reason] = drops.get(reason, 0) + 1
+            if link is not None:
+                link_drops = cells.link_drops
+                drop_key = (link.label, reason)
+                link_drops[drop_key] = link_drops.get(drop_key, 0) + 1
+        else:
+            if metrics is None:
+                metrics = self._metrics if self._metrics is not None \
+                    else get_metrics()
+            metrics.counter("net.drops", reason=reason).add()
+            if link is not None:
+                # Per-link, per-reason attribution: the "drops" column in
+                # the dashboard's link table rolls this up.
+                metrics.counter("net.link.drops", link=link.label,
+                                reason=reason).add()
         flight = self.env._flight
         if flight is not None and flight.journal_net:
             flight.record_drop(reason,

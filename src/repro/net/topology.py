@@ -33,6 +33,13 @@ class Topology:
         # caches die with the first-hop tables on invalidate_routes().
         self._route_cache: Dict[Tuple[str, str], Optional[List[Link]]] = {}
         self._links_cache: Optional[List[Link]] = None
+        # Route tables memoised per link-state epoch (every link's
+        # up/weight, in links() order).  Fault schedules mostly *revisit*
+        # states — a flap toggles between two, a partition heals back to
+        # the original — so recomputation after an invalidation is a
+        # dict hit instead of |nodes| Dijkstra walks.  Dies on any graph
+        # shape change (add_node/add_link).
+        self._state_cache: Dict[tuple, tuple] = {}
 
     def add_node(self, name: str) -> str:
         """Add a node (idempotent) and return its name."""
@@ -40,6 +47,7 @@ class Topology:
             self.nodes.append(name)
             self._adjacency[name] = {}
             self._dirty = True
+            self._state_cache = {}
         return name
 
     def add_link(self, a: str, b: str, **link_kwargs) -> Link:
@@ -55,6 +63,7 @@ class Topology:
         self._adjacency[b][a] = link
         self._dirty = True
         self._links_cache = None
+        self._state_cache = {}
         return link
 
     def link_between(self, a: str, b: str) -> Link:
@@ -89,8 +98,18 @@ class Topology:
     # -- routing -----------------------------------------------------------
 
     def _recompute(self) -> None:
-        self._paths = {node: self._dijkstra(node) for node in self.nodes}
-        self._route_cache = {}
+        # One epoch key per distinct link state; a revisited state (flap
+        # back up, partition heal) reuses its first-hop tables AND its
+        # materialised-route cache — both are pure functions of the key,
+        # and the shared route cache only ever grows entries valid for
+        # that same state.
+        state = tuple((link.up, link.routing_weight)
+                      for link in self.links())
+        cached = self._state_cache.get(state)
+        if cached is None:
+            cached = self._state_cache[state] = (
+                {node: self._dijkstra(node) for node in self.nodes}, {})
+        self._paths, self._route_cache = cached
         self._dirty = False
 
     def _dijkstra(self, source: str) -> Dict[str, Optional[str]]:

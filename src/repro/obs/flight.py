@@ -59,10 +59,6 @@ FLIGHT_SCHEMA = "repro-flight/1"
 #: Default epoch granularity: one digest per this many dispatched events.
 DEFAULT_EPOCH_EVENTS = 512
 
-# Heap keys pack (priority, eid); mirrors repro.sim.environment.
-_PRIORITY_SHIFT = 48
-_EID_MASK = (1 << _PRIORITY_SHIFT) - 1
-
 # Strings that JSON renders literally as '"' + s + '"': printable ASCII
 # with no quote or backslash.  Lets the hot journal channels build their
 # canonical form with a format string instead of json.dumps (~5x); any
@@ -188,13 +184,17 @@ class FlightRecorder:
         self._epoch_records = 0
         self._epoch_dispatches = 0
 
-    def on_dispatch(self, time: float, key: int) -> None:
+    def on_dispatch(self, time: float, priority: int, eid: int) -> None:
         """Journal one event dispatch; the epoch clock.
 
-        Called by the environment's run loop with the popped heap entry
-        — ``key`` packs (priority, eid) exactly as the scheduler does.
-        Also tracks the current sim time for every other channel, so
-        this must stay attached even when ``journal_dispatch`` is off.
+        Called by the environment's run loop with the popped entry
+        already unpacked into ``(time, priority, eid)`` (the kernel's
+        queue-agnostic :func:`repro.sim.environment.dispatch_parts`
+        accessor), so the journal never depends on how a particular
+        scheduler stores its keys — the record format is byte-identical
+        across queue implementations.  Also tracks the current sim time
+        for every other channel, so this must stay attached even when
+        ``journal_dispatch`` is off.
         """
         if self.epoch_interval is not None:
             while time >= self._boundary_index * self.epoch_interval:
@@ -202,8 +202,6 @@ class FlightRecorder:
                 self._boundary_index += 1
         self._time = time
         if self.journal_dispatch:
-            eid = key & _EID_MASK
-            priority = key >> _PRIORITY_SHIFT
             # The canonical form is built with a format string here:
             # dispatch records dominate the journal and json.dumps is
             # ~10x the cost (%r matches json's int/float rendering;
@@ -336,7 +334,7 @@ class NoopFlightRecorder:
     evicted = 0
     epoch = 0
 
-    def on_dispatch(self, time: float, key: int) -> None:
+    def on_dispatch(self, time: float, priority: int, eid: int) -> None:
         pass
 
     def record_rng(self, stream: str, method: str, value: Any) -> None:

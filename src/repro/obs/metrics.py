@@ -12,6 +12,15 @@ behind named instruments with labels::
 Instruments are created on first use and cached by ``(name, labels)``.
 Recording never touches the simulation clock or RNG streams, so enabling
 metrics cannot change experiment output.
+
+Batched flushing (PR 10): hot paths that cannot afford an instrument
+call per record accumulate into local cells and register a *flush hook*
+(:meth:`MetricsRegistry.add_flush_hook`).  Every read path — the keyed
+factories, ``counters()``/``snapshot()``/``records()``, the
+``*_items()`` iteration the timeline recorder uses at window boundaries,
+and the SLO aggregations — runs the hooks first, so readers always see
+fresh values while writers schedule zero flush events and pay one int
+add per record.  Hooks must be idempotent when their cells are empty.
 """
 
 from __future__ import annotations
@@ -132,10 +141,39 @@ class MetricsRegistry:
         self._counters: Dict[LabelKey, CounterInstrument] = {}
         self._histograms: Dict[LabelKey, HistogramInstrument] = {}
         self._gauges: Dict[LabelKey, GaugeInstrument] = {}
+        # Deferred-write hooks (see module docstring).  _flushing guards
+        # against recursion: a hook folding its cells goes through the
+        # keyed factories, which flush on entry.
+        self._flush_hooks: List[Any] = []
+        self._flushing = False
+
+    # -- batched flushing --------------------------------------------------
+
+    def add_flush_hook(self, hook) -> None:
+        """Register a zero-arg callable run before every read.
+
+        The contract for batching writers: accumulate locally, register
+        one hook, fold everything pending into the real instruments when
+        called.  Hooks run in registration order and must be no-ops when
+        nothing is pending.
+        """
+        self._flush_hooks.append(hook)
+
+    def _flush(self) -> None:
+        if not self._flush_hooks or self._flushing:
+            return
+        self._flushing = True
+        try:
+            for hook in self._flush_hooks:
+                hook()
+        finally:
+            self._flushing = False
 
     # -- instrument factories (create-on-first-use, cached) ----------------
 
     def counter(self, name: str, **labels: Any) -> CounterInstrument:
+        if self._flush_hooks:
+            self._flush()
         key = _key(name, labels)
         instrument = self._counters.get(key)
         if instrument is None:
@@ -144,6 +182,8 @@ class MetricsRegistry:
         return instrument
 
     def histogram(self, name: str, **labels: Any) -> HistogramInstrument:
+        if self._flush_hooks:
+            self._flush()
         key = _key(name, labels)
         instrument = self._histograms.get(key)
         if instrument is None:
@@ -152,6 +192,8 @@ class MetricsRegistry:
         return instrument
 
     def gauge(self, name: str, **labels: Any) -> GaugeInstrument:
+        if self._flush_hooks:
+            self._flush()
         key = _key(name, labels)
         instrument = self._gauges.get(key)
         if instrument is None:
@@ -187,6 +229,7 @@ class MetricsRegistry:
         ``PYTHONHASHSEED`` — the same guarantee :meth:`snapshot`,
         :meth:`histograms`, :meth:`gauges` and :meth:`records` make.
         """
+        self._flush()
         return {_render(key): instrument.value
                 for key, instrument in sorted(self._counters.items())
                 if name is None or key[0] == name}
@@ -195,6 +238,7 @@ class MetricsRegistry:
                    ) -> Dict[str, Dict[str, float]]:
         """Histogram summaries, optionally restricted to one name
         (sorted keys; see :meth:`counters`)."""
+        self._flush()
         return {_render(key): instrument.summary()
                 for key, instrument in sorted(self._histograms.items())
                 if name is None or key[0] == name}
@@ -202,6 +246,7 @@ class MetricsRegistry:
     def gauges(self, name: Optional[str] = None) -> Dict[str, float]:
         """Last gauge values, optionally restricted to one name
         (sorted keys; see :meth:`counters`)."""
+        self._flush()
         return {_render(key): instrument.last
                 for key, instrument in sorted(self._gauges.items())
                 if name is None or key[0] == name}
@@ -214,14 +259,17 @@ class MetricsRegistry:
     # is the same trick the bind_* hot-path API uses for writes.
 
     def counter_items(self) -> List[Tuple[str, CounterInstrument]]:
+        self._flush()
         return [(_render(key), inst)
                 for key, inst in sorted(self._counters.items())]
 
     def histogram_items(self) -> List[Tuple[str, HistogramInstrument]]:
+        self._flush()
         return [(_render(key), inst)
                 for key, inst in sorted(self._histograms.items())]
 
     def gauge_items(self) -> List[Tuple[str, GaugeInstrument]]:
+        self._flush()
         return [(_render(key), inst)
                 for key, inst in sorted(self._gauges.items())]
 
@@ -237,11 +285,13 @@ class MetricsRegistry:
 
     def counter_total(self, name: str, **labels: Any) -> int:
         """Sum of every counter named ``name`` whose labels ⊇ ``labels``."""
+        self._flush()
         return sum(inst.value for key, inst in sorted(self._counters.items())
                    if self._matches(key, name, labels))
 
     def histogram_count(self, name: str, **labels: Any) -> int:
         """Total observations across matching histograms."""
+        self._flush()
         return sum(inst.count
                    for key, inst in sorted(self._histograms.items())
                    if self._matches(key, name, labels))
@@ -249,12 +299,14 @@ class MetricsRegistry:
     def histogram_count_below(self, name: str, threshold: float,
                               **labels: Any) -> int:
         """Observations ``<= threshold`` across matching histograms."""
+        self._flush()
         return sum(inst.count_below(threshold)
                    for key, inst in sorted(self._histograms.items())
                    if self._matches(key, name, labels))
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """Everything, as one nested dict for tables and assertions."""
+        self._flush()
         return {
             "counters": {_render(key): inst.value
                          for key, inst in sorted(self._counters.items())},
@@ -267,6 +319,7 @@ class MetricsRegistry:
 
     def records(self) -> Iterator[Dict[str, Any]]:
         """Flat metric records for the JSONL exporter."""
+        self._flush()
         for key, counter in sorted(self._counters.items()):
             yield {"kind": "metric", "type": "counter", "name": key[0],
                    "labels": dict(key[1]), "value": counter.value}
@@ -282,6 +335,10 @@ class MetricsRegistry:
         self._counters.clear()
         self._histograms.clear()
         self._gauges.clear()
+        # Hooks go too: a batching writer holds bound handles into the
+        # cleared instrument dicts, so replaying its cells would resurrect
+        # orphaned instruments with partial counts.
+        self._flush_hooks.clear()
 
     def __repr__(self) -> str:
         return "<MetricsRegistry counters={} histograms={} gauges={}>".format(

@@ -1,7 +1,22 @@
-"""The simulation environment: clock, event queue and run loop."""
+"""The simulation environment: clock, event queue and run loop.
+
+The default event queue is a *ladder/calendar queue* (PR 10): the next
+events live in one sorted "current run" list drained from the tail by
+``list.pop()``, and future events are binned into unsorted buckets that
+are sorted (C timsort) only when they become the current run.  Enqueue
+and dequeue are O(1) amortised — no heap sifting — while the bucket
+width re-anchors automatically from the observed event density, so
+Zipf-skewed delay distributions keep near-target run lengths.  The
+``(time, priority, eid)`` total order of the former binary heap is
+preserved exactly, so replay digests are byte-identical; the heap
+remains available as ``Environment(scheduler="heap")`` for A/B proofs
+and same-machine baselines.
+"""
 
 from __future__ import annotations
 
+import contextlib
+from bisect import insort
 from heapq import heappop, heappush
 from typing import Any, Iterator, List, Optional, Tuple
 
@@ -20,13 +35,66 @@ Infinity = float("inf")
 # Pre-bound allocator for Environment.timeout's fast path.
 _new_timeout = Timeout.__new__
 
-# Queue entries are (time, key, event) where key packs (priority, eid)
-# into one int: priority in the high bits, the schedule-order tiebreaker
-# below.  Ordering is identical to the former (time, priority, eid, ...)
-# tuples — priority dominates, then insertion order — but entries are a
-# quarter smaller and heap sifts compare one int instead of two.
+# Queue entries pack (priority, eid) into one int key: priority in the
+# high bits, the schedule-order tiebreaker below.  Ordering is identical
+# to the former (time, priority, eid, ...) tuples — priority dominates,
+# then insertion order.  The calendar queue stores *negated* entries
+# ``(-time, -key, event)`` so the current run sorts ascending yet pops
+# the earliest event from the tail (an O(1) C ``list.pop()``, with no
+# consumed prefix for in-run insorts to trip over).
 _PRIORITY_SHIFT = 48
 _NORMAL_BASE = NORMAL << _PRIORITY_SHIFT
+_EID_MASK = (1 << _PRIORITY_SHIFT) - 1
+
+# Calendar-queue tuning.  A promoted bucket near _RUN_TARGET entries
+# keeps in-run insorts cheap (short memmoves) while amortising one C
+# sort per ~target events; a bucket past _RUN_MAX with a nonzero time
+# span is re-anchored with a finer width instead (Zipf bursts), and the
+# bucket count is capped so sparse epochs never allocate huge arrays.
+_RUN_TARGET = 64
+_RUN_MAX = 2048
+_BUCKET_CAP = 4096
+
+#: Queue implementations selectable per environment (or process-wide
+#: via :func:`set_default_scheduler` / :func:`use_scheduler`).
+SCHEDULERS = ("calendar", "heap")
+
+_default_scheduler = "calendar"
+
+
+def set_default_scheduler(name: str) -> str:
+    """Set the queue used by ``Environment()`` when none is passed.
+
+    Returns the previous default.  The heap remains available so
+    benches and A/B digest tests can run both schedulers interleaved in
+    one process (see :func:`use_scheduler`).
+    """
+    if name not in SCHEDULERS:
+        raise SimulationError("unknown scheduler: {!r}".format(name))
+    global _default_scheduler
+    previous = _default_scheduler
+    _default_scheduler = name
+    return previous
+
+
+@contextlib.contextmanager
+def use_scheduler(name: str) -> Iterator[str]:
+    """Scope the default scheduler, restoring the previous on exit."""
+    previous = set_default_scheduler(name)
+    try:
+        yield name
+    finally:
+        set_default_scheduler(previous)
+
+
+def dispatch_parts(key: int) -> Tuple[int, int]:
+    """Split a packed queue key into ``(priority, eid)``.
+
+    The queue-agnostic accessor for dispatch journaling: consumers (the
+    flight recorder, tests) receive unpacked values and never depend on
+    how a particular scheduler stores its keys.
+    """
+    return key >> _PRIORITY_SHIFT, key & _EID_MASK
 
 
 class EmptySchedule(SimulationError):
@@ -45,11 +113,35 @@ class Environment:
     Time is a float in seconds and only advances through :meth:`run`.
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(self, initial_time: float = 0.0,
+                 scheduler: Optional[str] = None) -> None:
+        if scheduler is None:
+            scheduler = _default_scheduler
+        if scheduler not in SCHEDULERS:
+            raise SimulationError(
+                "unknown scheduler: {!r}".format(scheduler))
         self._now = float(initial_time)
-        self._queue: List[Tuple[float, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        # Ladder/calendar queue state.  ``_qrun`` holds negated entries
+        # sorted ascending (earliest event last); ``_qbuckets[j]`` holds
+        # unsorted entries with int((t - _qstart) * _qinvw) == j for
+        # j >= _qcursor (buckets below the cursor are always empty —
+        # their window is the current run, reached via insort); and
+        # ``_qover`` collects everything beyond the bucketed horizon,
+        # re-anchored wholesale when the cursor exhausts the buckets.
+        # The unanchored bootstrap (no buckets, _qinvw 0.0) routes every
+        # push to the overflow until the first promote.
+        self._qrun: List[Tuple[float, int, Event]] = []
+        self._qbuckets: List[List[Tuple[float, int, Event]]] = []
+        self._qcursor = 0
+        self._qstart = 0.0
+        self._qinvw = 0.0
+        self._qover: List[Tuple[float, int, Event]] = []
+        # Legacy binary heap: None selects the calendar queue; a list
+        # makes every push/pop site take its heappush/heappop branch.
+        self._heap: Optional[List[Tuple[float, int, Event]]] = \
+            [] if scheduler == "heap" else None
         # Event-loop counter: a plain int so the hot path stays cheap.
         # (events_scheduled is derived from the schedule-order tiebreaker
         # ``_eid``, which advances in lockstep with it by construction.)
@@ -87,6 +179,11 @@ class Environment:
         return self._now
 
     @property
+    def scheduler(self) -> str:
+        """Which queue implementation this environment runs on."""
+        return "heap" if self._heap is not None else "calendar"
+
+    @property
     def events_scheduled(self) -> int:
         """Events ever queued.
 
@@ -107,6 +204,8 @@ class Environment:
         """Create a new pending event."""
         return Event(self)
 
+    # repro: fast-path — the kernel's hottest allocation site; no
+    # blocking claims here (repro.analysis.protocol enforces RPR204).
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that fires ``delay`` seconds from now.
 
@@ -126,8 +225,24 @@ class Environment:
         event.defused = False
         event.delay = delay
         self._eid += 1
-        heappush(self._queue,
-                 (self._now + delay, _NORMAL_BASE + self._eid, event))
+        time = self._now + delay
+        heap = self._heap
+        if heap is not None:
+            heappush(heap, (time, _NORMAL_BASE + self._eid, event))
+            return event
+        # Inlined ladder push (sync: Environment._push carries the
+        # reference copy of this logic and the ordering argument).
+        j = int((time - self._qstart) * self._qinvw)
+        if j < self._qcursor:
+            insort(self._qrun, (-time, -_NORMAL_BASE - self._eid, event))
+        else:
+            buckets = self._qbuckets
+            if j < len(buckets):
+                buckets[j].append(
+                    (-time, -_NORMAL_BASE - self._eid, event))
+            else:
+                self._qover.append(
+                    (-time, -_NORMAL_BASE - self._eid, event))
         return event
 
     def process(self, generator, name: Optional[str] = None) -> Process:
@@ -172,9 +287,162 @@ class Environment:
                  delay: float = 0.0) -> None:
         """Queue ``event`` to fire ``delay`` seconds from now."""
         self._eid += 1
-        heappush(self._queue,
-                 (self._now + delay,
-                  (priority << _PRIORITY_SHIFT) + self._eid, event))
+        key = (priority << _PRIORITY_SHIFT) + self._eid
+        time = self._now + delay
+        heap = self._heap
+        if heap is not None:
+            heappush(heap, (time, key, event))
+        else:
+            self._push(time, key, event)
+
+    # repro: fast-path — ladder enqueue; hot call sites in sim/net
+    # inline the common branches of this exact logic (sync notices at
+    # each site point back here).
+    def _push(self, time: float, key: int, event: Event) -> None:
+        """Ladder enqueue preserving the exact ``(time, key)`` order.
+
+        The bucket index is computed *only* from ``int((time - start) *
+        invw)`` — never from a separately-derived boundary — so two
+        entries with the same time can never be routed inconsistently by
+        float rounding.  Entries mapping below the cursor belong to the
+        current run's window (or, for ``j < 0``, precede the anchor
+        entirely) and are insorted into the sorted run; entries beyond
+        the bucketed horizon collect in the overflow until a re-anchor.
+        ``time`` at or beyond ~1e308 (or infinity) would overflow the
+        index arithmetic; those park in the overflow, whose re-anchor
+        degenerates to a single sorted run.
+        """
+        entry = (-time, -key, event)
+        try:
+            j = int((time - self._qstart) * self._qinvw)
+        except (OverflowError, ValueError):
+            self._qover.append(entry)
+            return
+        if j < self._qcursor:
+            insort(self._qrun, entry)
+        else:
+            buckets = self._qbuckets
+            if j < len(buckets):
+                buckets[j].append(entry)
+            else:
+                self._qover.append(entry)
+
+    def _promote(self) -> bool:
+        """Make the current run non-empty; False when the queue is dry.
+
+        Advances the bucket cursor to the next non-empty bucket and
+        sorts it into place as the run (one C sort per ~_RUN_TARGET
+        events).  Oversized buckets with a nonzero time span re-anchor
+        at a finer width — remaining buckets demote to the overflow
+        first, so one dense window cannot starve the epoch.  When the
+        buckets are exhausted the overflow re-anchors wholesale with a
+        width chosen from its own density (span * target / count):
+        sparse epochs widen, dense epochs narrow, no manual tuning.
+        """
+        while True:
+            if self._qrun:
+                return True
+            buckets = self._qbuckets
+            j = self._qcursor
+            n = len(buckets)
+            while j < n and not buckets[j]:
+                j += 1
+            if j < n:
+                bucket = buckets[j]
+                buckets[j] = []
+                self._qcursor = j + 1
+                if len(bucket) > _RUN_MAX:
+                    times = [entry[0] for entry in bucket]
+                    lo, hi = -max(times), -min(times)
+                    if lo < hi < Infinity:
+                        over = self._qover
+                        for rest in buckets[self._qcursor:]:
+                            if rest:
+                                over.extend(rest)
+                        self._reanchor(bucket, lo, hi)
+                        continue
+                    # Zero span (a dense same-time burst): no width can
+                    # split it; sort once and serve it as one run.
+                bucket.sort()
+                self._qrun = bucket
+                return True
+            over = self._qover
+            if not over:
+                # Fully drained: back to the unanchored bootstrap so
+                # later pushes can't index stale windows.
+                self._qbuckets = []
+                self._qcursor = 0
+                self._qstart = 0.0
+                self._qinvw = 0.0
+                return False
+            self._qover = []
+            times = [entry[0] for entry in over]
+            lo, hi = -max(times), -min(times)
+            if -Infinity < lo < hi < Infinity:
+                self._reanchor(over, lo, hi)
+                continue
+            # Single-instant or non-finite epoch: serve it as one
+            # sorted run; cursor 1 + zero inverse width routes every
+            # push (j == 0 < 1) into the run until it drains.
+            over.sort()
+            self._qrun = over
+            self._qbuckets = []
+            self._qcursor = 1
+            self._qstart = 0.0
+            self._qinvw = 0.0
+            return True
+
+    def _reanchor(self, entries: List[Tuple[float, int, Event]],
+                  lo: float, hi: float) -> None:
+        """Rebuild the buckets over ``entries`` spanning [lo, hi].
+
+        Width targets ~_RUN_TARGET entries per bucket at the observed
+        density; the bucket count is capped so a sparse far-future tail
+        cannot allocate unbounded arrays (the tail simply lands in the
+        last bucket and re-splits on its own promote).
+        """
+        count = len(entries)
+        span = hi - lo
+        width = span * _RUN_TARGET / count
+        buckets_needed = int(span / width) + 2
+        if buckets_needed > _BUCKET_CAP:
+            buckets_needed = _BUCKET_CAP
+            width = span / (buckets_needed - 1)
+        try:
+            invw = 1.0 / width
+        except ZeroDivisionError:
+            invw = Infinity
+        if not 0.0 < invw < Infinity:
+            # Degenerate width (subnormal span or overflow): same
+            # single-sorted-run fallback as a zero-span epoch.
+            entries.sort()
+            self._qrun = entries
+            self._qbuckets = []
+            self._qcursor = 1
+            self._qstart = 0.0
+            self._qinvw = 0.0
+            return
+        buckets: List[List[Tuple[float, int, Event]]] = \
+            [[] for _ in range(buckets_needed)]
+        last = buckets_needed - 1
+        for entry in entries:
+            j = int((-entry[0] - lo) * invw)
+            if j > last:
+                j = last
+            elif j < 0:
+                j = 0
+            buckets[j].append(entry)
+        self._qbuckets = buckets
+        self._qcursor = 0
+        self._qstart = lo
+        self._qinvw = invw
+
+    def _queue_depth(self) -> int:
+        """Pending events across run, buckets and overflow."""
+        if self._heap is not None:
+            return len(self._heap)
+        return len(self._qrun) + sum(map(len, self._qbuckets)) \
+            + len(self._qover)
 
     # -- window-boundary hook ----------------------------------------------
 
@@ -232,18 +500,30 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or infinity if none."""
-        if not self._queue:
+        heap = self._heap
+        if heap is not None:
+            return heap[0][0] if heap else Infinity
+        if not self._qrun and not self._promote():
             return Infinity
-        return self._queue[0][0]
+        return -self._qrun[-1][0]
 
     def step(self) -> None:
         """Process the single next event, advancing the clock to it."""
-        try:
-            self._now, key, event = heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule("no more events")
+        heap = self._heap
+        if heap is not None:
+            try:
+                self._now, key, event = heappop(heap)
+            except IndexError:
+                raise EmptySchedule("no more events")
+        else:
+            if not self._qrun and not self._promote():
+                raise EmptySchedule("no more events")
+            neg_time, neg_key, event = self._qrun.pop()
+            self._now = -neg_time
+            key = -neg_key
         if self._flight_dispatch is not None:
-            self._flight_dispatch(self._now, key)
+            self._flight_dispatch(self._now, key >> _PRIORITY_SHIFT,
+                                  key & _EID_MASK)
         if self._now >= self._window_next:
             self._fire_window_hook()
         self.events_processed += 1
@@ -253,6 +533,8 @@ class Environment:
         if event._ok is False and not event.defused:
             raise event._exception
 
+    # repro: fast-path — the drain loop below is step() inlined; no
+    # blocking claims here (repro.analysis.protocol enforces RPR204).
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
 
@@ -282,36 +564,92 @@ class Environment:
         # events per run the per-call overhead of dispatching to step()
         # is itself a measurable slice of wall time.  Behaviour
         # (counters, exception escalation, StopSimulation) is identical.
-        queue = self._queue
-        pop = heappop
-        # The flight dispatch hook is hoisted into a local like ``pop``:
-        # it journals (time, eid, priority) per event and drives the
-        # recorder's epoch clock, scheduling zero events — replay
+        #
+        # The flight dispatch hook is hoisted into a local like the
+        # queue: it journals (time, priority, eid) per event and drives
+        # the recorder's epoch clock, scheduling zero events — replay
         # digests are identical with or without it (the O2 bench
         # asserts this).  None (the default) costs one check per event.
-        flight_dispatch = self._flight_dispatch
+        #
         # The processed count is batched in a local and flushed once on
         # the way out (including via exceptions): nothing observes
         # ``events_processed`` while run() is on the stack — stats() is
         # only read between runs — and the attribute store per event is
         # measurable at storm scale.
+        flight_dispatch = self._flight_dispatch
         processed = 0
         try:
+            if self._heap is not None:
+                queue = self._heap
+                pop = heappop
+                while True:
+                    try:
+                        self._now, key, event = pop(queue)
+                    except IndexError:
+                        raise EmptySchedule("no more events")
+                    if flight_dispatch is not None:
+                        flight_dispatch(self._now,
+                                        key >> _PRIORITY_SHIFT,
+                                        key & _EID_MASK)
+                    if self._now >= self._window_next:
+                        self._fire_window_hook()
+                    processed += 1
+                    callbacks, event.callbacks = event.callbacks, None
+                    for callback in callbacks:
+                        callback(event)
+                    if event._ok is False and not event.defused:
+                        raise event._exception
+            # Calendar drain: pop the earliest entry off the tail of the
+            # sorted run (O(1), physically removed — in-run insorts from
+            # callbacks always land among *pending* entries), promoting
+            # the next bucket whenever the run empties.  ``while run``
+            # re-checks after every event because callbacks may insort
+            # into the very list being drained.  The loop body comes in
+            # a with-flight and a without-flight variant so the common
+            # (no recorder) case skips even the per-event None check,
+            # and single-callback events — the overwhelming majority:
+            # one waiter per timeout/claim — dispatch without the
+            # for-loop setup.
+            run = self._qrun
+            pop = run.pop
             while True:
-                try:
-                    self._now, key, event = pop(queue)
-                except IndexError:
+                if flight_dispatch is None:
+                    while run:
+                        neg_time, neg_key, event = pop()
+                        self._now = now = -neg_time
+                        if now >= self._window_next:
+                            self._fire_window_hook()
+                        processed += 1
+                        callbacks, event.callbacks = event.callbacks, None
+                        if len(callbacks) == 1:
+                            callbacks[0](event)
+                        else:
+                            for callback in callbacks:
+                                callback(event)
+                        if event._ok is False and not event.defused:
+                            raise event._exception
+                else:
+                    while run:
+                        neg_time, neg_key, event = pop()
+                        self._now = now = -neg_time
+                        key = -neg_key
+                        flight_dispatch(now, key >> _PRIORITY_SHIFT,
+                                        key & _EID_MASK)
+                        if now >= self._window_next:
+                            self._fire_window_hook()
+                        processed += 1
+                        callbacks, event.callbacks = event.callbacks, None
+                        if len(callbacks) == 1:
+                            callbacks[0](event)
+                        else:
+                            for callback in callbacks:
+                                callback(event)
+                        if event._ok is False and not event.defused:
+                            raise event._exception
+                if not self._promote():
                     raise EmptySchedule("no more events")
-                if flight_dispatch is not None:
-                    flight_dispatch(self._now, key)
-                if self._now >= self._window_next:
-                    self._fire_window_hook()
-                processed += 1
-                callbacks, event.callbacks = event.callbacks, None
-                for callback in callbacks:
-                    callback(event)
-                if event._ok is False and not event.defused:
-                    raise event._exception
+                run = self._qrun
+                pop = run.pop
         except StopSimulation as stop:
             return stop.args[0].value if stop.args[0]._ok else None
         except EmptySchedule:
@@ -330,12 +668,15 @@ class Environment:
             "now": self._now,
             "events_scheduled": self.events_scheduled,
             "events_processed": self.events_processed,
-            "queue_depth": len(self._queue),
+            "queue_depth": self._queue_depth(),
         }
 
     def run_all(self, limit: float = 1e9) -> None:
         """Drain the queue, guarding against runaway simulations."""
-        while self._queue and self.peek() <= limit:
+        while True:
+            head = self.peek()
+            if head > limit or head == Infinity:
+                return
             self.step()
 
 

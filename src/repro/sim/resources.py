@@ -10,6 +10,7 @@ used e.g. for link bandwidth accounting).
 from __future__ import annotations
 
 import itertools
+from bisect import insort
 from heapq import heappop, heappush
 from typing import Any, Callable, List, Optional
 
@@ -25,10 +26,46 @@ def _metrics():
     return get_metrics()
 
 
-class Request(Event):
-    """A pending claim on a :class:`Resource`; fires when granted."""
+def _push_now(env: Environment, key: int, event: Event) -> None:
+    """Queue ``event`` at the current instant on either scheduler.
 
-    __slots__ = ("resource", "requested_at", "usage_since")
+    The store dispatch loop schedules a couple of events per delivered
+    message; this shares the scheduler branch instead of repeating it
+    at each site (sync: Environment._push carries the ladder's ordering
+    argument).
+    """
+    heap = env._heap
+    if heap is not None:
+        heappush(heap, (env._now, key, event))
+        return
+    time = env._now
+    j = int((time - env._qstart) * env._qinvw)
+    if j < env._qcursor:
+        insort(env._qrun, (-time, -key, event))
+    else:
+        buckets = env._qbuckets
+        if j < len(buckets):
+            buckets[j].append((-time, -key, event))
+        else:
+            env._qover.append((-time, -key, event))
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`; fires when granted.
+
+    ``grant_delay`` (default 0) fuses the claim with the usage that
+    follows it: instead of firing at grant time and having the waiter
+    immediately schedule a ``grant_delay`` timeout (two events per
+    claim), the request fires once at ``grant_time + grant_delay``.
+    The elided immediate-grant event is *virtually accounted* — the
+    grant still consumes its eid and bumps ``events_processed`` at the
+    instant it would have fired — so the scheduling counters the replay
+    digests cover are byte-identical to the unfused two-event shape.
+    ``usage_since`` still records the grant instant, so holders can
+    recover when their usage actually began.
+    """
+
+    __slots__ = ("resource", "requested_at", "usage_since", "grant_delay")
 
     def __init__(self, resource: "Resource") -> None:
         # Event.__init__ inlined: one request per packet hop makes this
@@ -43,6 +80,7 @@ class Request(Event):
         self.resource = resource
         self.requested_at = env._now
         self.usage_since: Optional[float] = None
+        self.grant_delay = 0.0
         resource._do_request(self)
 
     def __enter__(self) -> "Request":
@@ -118,8 +156,34 @@ class Resource:
             raise SimulationError("event already triggered")
         request._ok = True
         request._value = request
-        env._eid += 1
-        heappush(env._queue, (env._now, _NORMAL_BASE + env._eid, request))
+        delay = request.grant_delay
+        if delay:
+            # Claim+usage fusion: the immediate-grant event is elided
+            # and virtually accounted (its eid and processed count land
+            # at this instant, exactly where the unfused grant would
+            # have popped as a resume), and the request itself fires at
+            # grant + delay — one queued event instead of two.
+            env._eid += 2
+            env.events_processed += 1
+            time = env._now + delay
+        else:
+            env._eid += 1
+            time = env._now
+        key = _NORMAL_BASE + env._eid
+        heap = env._heap
+        if heap is not None:
+            heappush(heap, (time, key, request))
+            return
+        # Inlined ladder push (sync: Environment._push).
+        j = int((time - env._qstart) * env._qinvw)
+        if j < env._qcursor:
+            insort(env._qrun, (-time, -key, request))
+        else:
+            buckets = env._qbuckets
+            if j < len(buckets):
+                buckets[j].append((-time, -key, request))
+            else:
+                env._qover.append((-time, -key, request))
 
     def _grant_waiters(self) -> None:
         granted = False
@@ -150,7 +214,10 @@ class PriorityRequest(Request):
 
     __slots__ = ("priority", "time", "seq")
 
-    def __init__(self, resource: "PriorityResource", priority: int) -> None:
+    # repro: fast-path — one claim per packet hop; no blocking
+    # constructs here (repro.analysis.protocol enforces RPR204).
+    def __init__(self, resource: "PriorityResource", priority: int,
+                 grant_delay: float = 0.0) -> None:
         # Request.__init__ (and the Event fields) inlined: one priority
         # claim per packet hop makes the super() chain measurable.
         env = resource.env
@@ -163,13 +230,15 @@ class PriorityRequest(Request):
         self.resource = resource
         self.requested_at = env._now
         self.usage_since = None
+        self.grant_delay = grant_delay
         self.priority = priority
         self.time = env._now
         self.seq = next(resource._ticket)
         # _do_request's grant branch inlined for the uncontended case (a
         # fresh request can never be already-triggered, so _grant's
         # double-trigger guard is vacuous here).  Contended requests take
-        # the regular queueing path.
+        # the regular queueing path (whose eventual _grant honours
+        # grant_delay the same way).
         if len(resource.users) < resource.capacity:
             resource.users.append(self)
             self.usage_since = env._now
@@ -178,8 +247,30 @@ class PriorityRequest(Request):
                                      resource=resource.name).record(0.0)
             self._ok = True
             self._value = self
-            env._eid += 1
-            heappush(env._queue, (env._now, _NORMAL_BASE + env._eid, self))
+            if grant_delay:
+                # Claim+usage fusion — see Resource._grant: the elided
+                # immediate grant is virtually accounted here.
+                env._eid += 2
+                env.events_processed += 1
+                time = env._now + grant_delay
+            else:
+                env._eid += 1
+                time = env._now
+            key = _NORMAL_BASE + env._eid
+            heap = env._heap
+            if heap is not None:
+                heappush(heap, (time, key, self))
+                return
+            # Inlined ladder push (sync: Environment._push).
+            j = int((time - env._qstart) * env._qinvw)
+            if j < env._qcursor:
+                insort(env._qrun, (-time, -key, self))
+            else:
+                buckets = env._qbuckets
+                if j < len(buckets):
+                    buckets[j].append((-time, -key, self))
+                else:
+                    env._qover.append((-time, -key, self))
         else:
             resource._do_request(self)
 
@@ -282,6 +373,34 @@ class Store:
         """Add ``item``; the returned event fires once there is room."""
         return StorePut(self, item)
 
+    # repro: fast-path — one put per delivered packet; no blocking
+    # constructs here (repro.analysis.protocol enforces RPR204).
+    def put_fast(self, item: Any) -> Optional[StorePut]:
+        """Fire-and-forget put with the accepted-put event elided.
+
+        For callers that discard the put event (the network's inbox
+        delivery): when the put would be accepted immediately — room in
+        an unnamed store with no queued putters — nobody can ever
+        subscribe to it, so popping it later is a guaranteed no-op.
+        The event is elided and *virtually accounted* (eid + processed
+        bump at this instant, exactly where the real put would have
+        been scheduled and popped), keeping the counters replay digests
+        cover byte-identical; waiting getters are then matched through
+        the regular dispatch so their events keep the same eids.  Named
+        stores, full stores and stores with queued putters fall back to
+        the generic :meth:`put`.
+        """
+        if self._putters or self.name is not None \
+                or len(self.items) >= self.capacity:
+            return StorePut(self, item)
+        env = self.env
+        env._eid += 1
+        env.events_processed += 1
+        self.items.append(item)
+        if self._getters:
+            self._dispatch()
+        return None
+
     def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
         """Take the first (matching) item; fires when one is available."""
         return StoreGet(self, filter)
@@ -299,8 +418,7 @@ class Store:
                 self.items.append(put.item)
                 put._ok = True
                 env._eid += 1
-                heappush(env._queue,
-                         (env._now, _NORMAL_BASE + env._eid, put))
+                _push_now(env, _NORMAL_BASE + env._eid, put)
                 progressed = True
             # Satisfy getters from the buffer.
             if not self._getters:
@@ -317,8 +435,7 @@ class Store:
                 getter._ok = True
                 getter._value = item
                 env._eid += 1
-                heappush(env._queue,
-                         (env._now, _NORMAL_BASE + env._eid, getter))
+                _push_now(env, _NORMAL_BASE + env._eid, getter)
                 progressed = True
         if self.name is not None:
             _metrics().gauge("store.depth", store=self.name) \

@@ -89,3 +89,32 @@ def hot_claim(table, packet):
 def cool_claim(table, packet):
     with table.request(packet.src):  # negative: not marked fast-path
         return packet
+
+
+# repro: fast-path — generator actors get both walks: the claim check
+# AND the actor re-entrancy check.
+def hot_carrier(env, channel):
+    with channel.acquire():  # expect: RPR204
+        yield env.timeout(1)
+    env.run()  # expect: RPR204
+
+
+# repro: fast-path — explicit claim/release is the sanctioned shape
+# (what network._carry does); the checker must stay silent on it.
+def hot_explicit(env, channel):
+    claim = channel.request(0)
+    yield claim
+    channel.release(claim)
+
+
+# repro: fast-path
+def hot_tolerated(table, packet):
+    with table.request(packet.src):  # repro: allow-RPR204  # suppressed: RPR204
+        return packet
+
+
+# repro: fast-path — non-claim context managers (locks are claims;
+# spans are not) never trip the fast-path rule.
+def hot_span(tracer, packet):
+    with tracer.span("hop"):
+        return packet

@@ -59,6 +59,13 @@ def test_actor_detection():
     assert not protocol.is_actor(by_name["plain_iterator"])
     assert by_name["hot_claim"].fast_path
     assert not by_name["cool_claim"].fast_path
+    # PR 10 fixtures: fast-path generators are actors *and* fast-path,
+    # so they get both RPR204 walks; the explicit claim/release shape
+    # (the burst carry's idiom) stays clean.
+    assert by_name["hot_carrier"].fast_path
+    assert protocol.is_actor(by_name["hot_carrier"])
+    assert by_name["hot_explicit"].fast_path
+    assert by_name["hot_span"].fast_path
 
 
 def test_self_env_attribute_counts_as_actor():

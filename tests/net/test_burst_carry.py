@@ -1,0 +1,202 @@
+"""Burst-carry networking must be invisible except in wall time.
+
+The fused carry (PR 10) elides the carrier's Initialize, the
+uncontended claim's grant, the delivered put and the detached end
+event — each *virtually accounted* so counters, metrics, digests and
+drop books match the legacy carry event for event.  These are the A/B
+proofs; ``Network(..., burst_carry=False)`` keeps the legacy path alive
+as the reference.
+"""
+
+import pytest
+
+from repro.analysis.replay import run_isolated, trace_digest
+from repro.analysis.workloads import WORKLOADS
+from repro.faults import FaultInjector, FaultSchedule
+from repro.net.network import (
+    Network,
+    set_burst_carry,
+    use_burst_carry,
+)
+from repro.net.topology import lan, line, wan
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.sim import Environment
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics():
+    with use_metrics(MetricsRegistry()):
+        yield
+
+
+def _storm(burst, hosts=6, packets=40, loss=0.0, schedule=None,
+           scheduler="calendar"):
+    """One deterministic LAN/WAN storm; returns comparable state."""
+    with use_metrics(MetricsRegistry()):
+        return _storm_inner(burst, packets, loss, schedule, scheduler)
+
+
+def _storm_inner(burst, packets, loss, schedule, scheduler):
+    env = Environment(scheduler=scheduler)
+    topo = wan(env, sites=3, hosts_per_site=2, site_latency=0.004,
+               loss=loss, seed=7)
+    network = Network(env, topo, burst_carry=burst)
+    if schedule is not None:
+        FaultInjector(env, network, schedule)
+    names = ["site{}.host{}".format(i, j)
+             for i in range(3) for j in range(2)]
+    endpoints = [network.host(name) for name in names]
+
+    def sender(env, host, peer, count):
+        for i in range(count):
+            yield env.timeout(0.0005)
+            host.send(peer, payload=i, size=512)
+
+    def receiver(env, host, seen):
+        while True:
+            packet = yield host.receive()
+            seen.append((env.now, packet.src, packet.payload))
+
+    seen = []
+    for i, host in enumerate(endpoints):
+        peer = names[(i + 3) % len(names)]
+        env.process(sender(env, host, peer, packets))
+        env.process(receiver(env, host, seen))
+    env.run(until=1.0)
+    return {
+        "seen": seen,
+        "stats": env.stats(),
+        "counters": dict(network.counters._counts),
+        "latency_count": network.delivery_latency.count,
+        "latency_mean": network.delivery_latency.mean,
+        "drops": network.drop_stats(),
+        "link_bytes": network.total_link_bytes(),
+    }
+
+
+def test_burst_matches_legacy_on_clean_storm():
+    assert _storm(True) == _storm(False)
+
+
+def test_burst_matches_legacy_under_loss():
+    assert _storm(True, loss=0.05) == _storm(False, loss=0.05)
+
+
+def test_burst_matches_legacy_under_faults():
+    schedule = (FaultSchedule()
+                .link_down(0.010, "site0.router", "site1.router")
+                .link_up(0.030, "site0.router", "site1.router")
+                .loss_burst(0.040, extra_loss=0.5, duration=0.020,
+                            links=[("site1.router", "site2.router")]))
+    a = _storm(True, schedule=schedule)
+    b = _storm(False, schedule=schedule)
+    assert a == b
+    assert a["drops"], "fault storm produced no drops to compare"
+
+
+def test_burst_matches_legacy_on_heap_scheduler():
+    assert _storm(True, scheduler="heap") == \
+        _storm(False, scheduler="heap")
+
+
+def test_virtual_accounting_keeps_event_counters_equal():
+    """The headline guarantee: identical events_scheduled/processed —
+    elided events are counted at the instants they would have fired."""
+    burst = _storm(True)["stats"]
+    legacy = _storm(False)["stats"]
+    assert burst == legacy
+    assert burst["events_processed"] > 0
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_workload_digests_identical_with_burst_toggled(name):
+    with use_burst_carry(True):
+        on = trace_digest(run_isolated(name, seed=31))
+    with use_burst_carry(False):
+        off = trace_digest(run_isolated(name, seed=31))
+    assert on == off
+
+
+def test_metrics_registry_sees_identical_instruments():
+    """Celled metrics flush into the same instruments the legacy carry
+    writes directly; a boundary read must not see stale cells."""
+    def drive(burst):
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            env = Environment()
+            topo = lan(env, hosts=4, seed=3)
+            network = Network(env, topo, burst_carry=burst)
+            hosts = [network.host("host{}".format(i)) for i in range(4)]
+
+            def chat(env, host, peer):
+                for i in range(25):
+                    yield env.timeout(0.001)
+                    host.send(peer, payload=i, size=256)
+
+            for i, host in enumerate(hosts):
+                env.process(chat(env, host,
+                                 "host{}".format((i + 1) % 4)))
+            env.run()
+            return {
+                "sent": registry.counter_total("net.sent"),
+                "delivered": registry.counter_total("net.delivered"),
+                "node_sent": registry.counter_total("net.node.sent",
+                                                    node="host0"),
+                "bytes": registry.counter_total("net.bytes",
+                                                link="host0<->switch"),
+                "latency":
+                    registry.histogram_count("net.delivery_latency"),
+                "snapshot": registry.snapshot(),
+            }
+
+    assert drive(True) == drive(False)
+
+
+def test_on_drop_hook_fires_in_burst_mode():
+    env = Environment()
+    topo = line(env, length=2, seed=11)
+    topo.link_between("n0", "n1").loss = 1.0
+    network = Network(env, topo, burst_carry=True)
+    dropped = []
+    network.on_drop = lambda packet, reason: dropped.append(
+        (packet.payload, reason))
+    network.host("n1")
+    network.host("n0").send("n1", payload="doomed", size=64)
+    env.run()
+    assert dropped == [("doomed", "loss")]
+    assert network.drop_stats() == {"loss": 1}
+
+
+def test_setup_time_sends_work_before_run():
+    """transmit() outside any process (no active process) keeps the
+    queued Initialize, so link mutations between send() and run() are
+    honoured exactly as in the legacy carry."""
+    def drive(burst):
+        env = Environment()
+        topo = line(env, length=2, seed=5)
+        network = Network(env, topo, burst_carry=burst)
+        network.host("n1")
+        network.host("n0").send("n1", payload="early", size=64)
+        # Mutating the link *after* send but *before* run must affect
+        # the packet: the carry starts inside the run, not at send().
+        topo.link_between("n0", "n1").loss = 1.0
+        env.run()
+        return network.drop_stats(), env.stats()
+
+    assert drive(True) == drive(False)
+    assert drive(True)[0] == {"loss": 1}
+
+
+def test_process_wide_toggle_and_property():
+    env = Environment()
+    topo = line(env, length=2)
+    assert Network(env, topo).burst_carry is True
+    assert Network(env, topo, burst_carry=False).burst_carry is False
+    previous = set_burst_carry(False)
+    try:
+        assert Network(env, topo).burst_carry is False
+    finally:
+        set_burst_carry(previous)
+    with use_burst_carry(False):
+        assert Network(env, topo).burst_carry is False
+    assert Network(env, topo).burst_carry is True

@@ -46,10 +46,21 @@ def test_path_cache_invalidated_by_invalidate_routes(env):
     topo = line(env, length=3)
     old = topo.path("n0", "n2")
     topo.invalidate_routes()
+    # Unchanged link state: the state-epoch memo serves the same
+    # materialised route (a flap that healed costs a dict hit, not a
+    # full Dijkstra rebuild).
+    assert topo.path("n0", "n2") is old
+    # A genuine state change keys a different epoch and re-walks.
+    topo.link_between("n0", "n1").latency *= 2
+    topo.invalidate_routes()
     rebuilt = topo.path("n0", "n2")
-    # Same route, but re-materialised after the explicit invalidation.
     assert rebuilt is not old
     assert [link.label for link in rebuilt] == [l.label for l in old]
+    # Healing back to the original state revives the first epoch's
+    # tables — and the very same route object.
+    topo.link_between("n0", "n1").latency /= 2
+    topo.invalidate_routes()
+    assert topo.path("n0", "n2") is old
 
 
 def test_no_route_is_cached_and_still_raises(env):

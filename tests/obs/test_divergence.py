@@ -21,7 +21,7 @@ def _fork_pair(dispatches=20, fork_at=13, epoch_events=4):
     run_b = FlightRecorder(ring=1 << 10, epoch_events=epoch_events)
     for eid in range(dispatches):
         for recorder in (run_a, run_b):
-            recorder.on_dispatch(float(eid), eid)
+            recorder.on_dispatch(float(eid), 0, eid)
         if eid == fork_at:
             run_b.record_rng("s", "random", 0.999)
     run_a.finish()

@@ -18,7 +18,7 @@ from repro.obs.flight import (
 def _feed(recorder, dispatches, rng_every=None):
     """Feed a deterministic synthetic stream of kernel decisions."""
     for eid in range(dispatches):
-        recorder.on_dispatch(float(eid), eid)
+        recorder.on_dispatch(float(eid), 0, eid)
         if rng_every and eid % rng_every == 0:
             recorder.record_rng("s", "random", 0.5)
 
@@ -64,7 +64,7 @@ def test_epoch_rolls_every_n_events():
 def test_epoch_interval_rolls_at_time_boundaries():
     recorder = FlightRecorder(epoch_interval=1.0)
     for eid, time in enumerate([0.1, 0.5, 1.2, 1.9, 3.5]):
-        recorder.on_dispatch(time, eid)
+        recorder.on_dispatch(time, 0, eid)
     # t=1.2 crossed boundary 1; t=3.5 crossed boundaries 2 and 3.
     assert recorder.epoch == 3
     epochs = [r["epoch"] for r in recorder.ring]
@@ -106,7 +106,7 @@ def test_digests_differ_on_injected_fork():
     run_b = FlightRecorder(epoch_events=4)
     _feed(run_a, 10)
     for eid in range(10):
-        run_b.on_dispatch(float(eid), eid)
+        run_b.on_dispatch(float(eid), 0, eid)
         if eid == 6:                    # one extra draw in epoch 1
             run_b.record_rng("s", "random", 0.123)
     run_a.finish()
@@ -126,7 +126,7 @@ class _SlowFlight(FlightRecorder):
 def _exercise(recorder, streams=("s", 'we"ird\\')):
     times = [0, 1, 0.1, 1.5e-9, 12345.678901234567, 2.0 ** 40]
     for eid, time in enumerate(times):
-        recorder.on_dispatch(time, (eid % 3 << 48) | eid)
+        recorder.on_dispatch(time, eid % 3, eid)
         for stream in streams:
             recorder.record_rng(stream, "random", 0.5 + eid)
             recorder.record_rng(stream, "getrandbits", eid * 7)
@@ -368,7 +368,7 @@ def test_black_box_validation():
 def test_noop_flight_is_inert_default():
     assert obs.get_flight() is NOOP_FLIGHT
     assert not NOOP_FLIGHT.enabled
-    NOOP_FLIGHT.on_dispatch(0.0, 0)
+    NOOP_FLIGHT.on_dispatch(0.0, 0, 0)
     NOOP_FLIGHT.record_rng("s", "random", 0.5)
     assert NOOP_FLIGHT.finish() == 0
     assert list(NOOP_FLIGHT.records()) == []
@@ -380,3 +380,46 @@ def test_use_flight_scopes_and_restores():
     with use_flight(recorder):
         assert obs.get_flight() is recorder
     assert obs.get_flight() is NOOP_FLIGHT
+
+
+# -- PR 10: journal byte-compatibility across schedulers -------------------
+
+
+def test_journal_identical_between_heap_and_calendar():
+    """Satellite guarantee of the calendar-queue PR: the dispatch
+    journal — every (time, priority, eid) record AND the chained epoch
+    digests — is byte-identical whichever queue drives the run.  The
+    recorder receives unpacked parts via dispatch_parts(), so this
+    holds by construction unless a scheduler reorders dispatches."""
+    from repro.sim.environment import use_scheduler
+
+    journals = {}
+    for scheduler in ("heap", "calendar"):
+        recorder = FlightRecorder(ring=1 << 16, epoch_events=256)
+        with use_scheduler(scheduler), use_flight(recorder):
+            run_isolated("locks-hard", 31)
+        recorder.finish()
+        journals[scheduler] = (
+            [canonical(record) for record in recorder.ring],
+            recorder.epoch_digests,
+            recorder.recorded,
+        )
+    assert journals["calendar"] == journals["heap"]
+
+
+def test_journal_identical_across_schedulers_under_network_storm():
+    """Same guarantee on a packet workload: burst-carry elides events
+    *virtually*, so the eids that do reach the journal line up."""
+    from repro.sim.environment import use_scheduler
+
+    journals = {}
+    for scheduler in ("heap", "calendar"):
+        recorder = FlightRecorder(ring=1 << 16, epoch_events=256)
+        with use_scheduler(scheduler), use_flight(recorder):
+            run_isolated("flaky-links", 31)
+        recorder.finish()
+        journals[scheduler] = (
+            [canonical(record) for record in recorder.ring],
+            recorder.epoch_digests,
+        )
+    assert journals["calendar"] == journals["heap"]

@@ -240,3 +240,21 @@ class TestFoldedDiff:
     def test_cli_requires_workload_or_diff(self, capsys):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_cli_scheduler_flags_prove_zero_drift(self, tmp_path,
+                                                  capsys):
+        """The PR 10 proof recipe: profile the same workload on the
+        heap with the legacy carry and on the calendar queue with the
+        burst carry, --diff the folded dumps, read zero drift."""
+        old = str(tmp_path / "heap.folded")
+        new = str(tmp_path / "calendar.folded")
+        assert main(["traced-rpc", "--scheduler", "heap",
+                     "--no-burst-carry", "--folded", old]) == 0
+        assert main(["traced-rpc", "--scheduler", "calendar",
+                     "--folded", new]) == 0
+        assert main(["--diff", old, new]) == 0
+        assert "no simulated-time drift" in capsys.readouterr().out
+
+    def test_cli_rejects_unknown_scheduler(self):
+        with pytest.raises(SystemExit):
+            main(["traced-rpc", "--scheduler", "splay"])

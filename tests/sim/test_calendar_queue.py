@@ -1,0 +1,207 @@
+"""The calendar queue must be indistinguishable from the binary heap.
+
+The ladder/calendar queue (PR 10) replaces the packed heap behind the
+same :class:`Environment` API.  These tests pin the contract down:
+identical ``(time, priority, eid)`` dispatch order on adversarial
+schedules, identical counters, and correct re-anchoring under skewed
+delay distributions — with the heap kept alive as the reference.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Event
+from repro.sim.environment import (
+    dispatch_parts,
+    set_default_scheduler,
+    use_scheduler,
+)
+from repro.sim.events import NORMAL, URGENT
+
+
+def _drain_order(env):
+    """Drain ``env`` one step at a time, logging (now, value) pairs."""
+    order = []
+    while env.peek() != float("inf"):
+        env.step()
+        order.append(env.now)
+    return order
+
+
+def _schedule_tagged(env, entries):
+    """Queue one valued event per (delay, priority, tag) entry."""
+    fired = []
+    for delay, priority, tag in entries:
+        event = Event(env)
+        event._ok = True
+        event.callbacks.append(
+            lambda _e, tag=tag: fired.append((env.now, tag)))
+        env.schedule(event, priority=priority, delay=delay)
+    return fired
+
+
+@pytest.mark.parametrize("seed", [0, 7, 31])
+def test_dispatch_order_matches_heap_on_random_schedules(seed):
+    rng = random.Random(seed)
+    entries = []
+    for tag in range(500):
+        delay = rng.choice([0.0, rng.random() * 1e-4,
+                            rng.random(), rng.random() * 100.0])
+        priority = rng.choice([URGENT, NORMAL, NORMAL, NORMAL])
+        entries.append((delay, priority, tag))
+
+    logs = {}
+    for scheduler in ("heap", "calendar"):
+        env = Environment(scheduler=scheduler)
+        fired = _schedule_tagged(env, entries)
+        env.run_all()
+        logs[scheduler] = fired
+        assert env.events_processed == len(entries)
+    assert logs["calendar"] == logs["heap"]
+
+
+def test_same_instant_fifo_with_urgent_first():
+    """At one instant: URGENT beats NORMAL, then strict schedule order."""
+    env = Environment()
+    fired = _schedule_tagged(
+        env, [(0.5, NORMAL, "n0"), (0.5, URGENT, "u0"),
+              (0.5, NORMAL, "n1"), (0.5, URGENT, "u1"),
+              (0.5, NORMAL, "n2")])
+    env.run_all()
+    assert [tag for _, tag in fired] == ["u0", "u1", "n0", "n1", "n2"]
+
+
+@pytest.mark.parametrize("seed", [1, 13])
+def test_zipf_skewed_delays_reanchor_correctly(seed):
+    """Heavy-tailed delays force re-anchors; order must survive them."""
+    rng = random.Random(seed)
+    entries = []
+    for tag in range(2000):
+        # Zipf-ish: most events near now, a long tail far out.
+        delay = 0.001 / (1.0 - rng.random()) ** 1.5
+        entries.append((min(delay, 1e6), NORMAL, tag))
+
+    logs = {}
+    for scheduler in ("heap", "calendar"):
+        env = Environment(scheduler=scheduler)
+        fired = _schedule_tagged(env, entries)
+        env.run_all(limit=float("inf"))
+        logs[scheduler] = fired
+    assert logs["calendar"] == logs["heap"]
+
+
+def test_dense_same_time_burst_is_served_in_order():
+    """A zero-span epoch (every event at one instant) cannot be split
+    by any bucket width — it must degrade to one sorted run."""
+    env = Environment()
+    fired = _schedule_tagged(
+        env, [(1.0, NORMAL, tag) for tag in range(5000)])
+    env.run()
+    with pytest.raises(Exception):
+        env.step()  # queue is dry
+    assert [tag for _, tag in fired] == list(range(5000))
+
+
+def test_interleaved_push_during_drain_lands_in_run():
+    """Callbacks that schedule into the current run's window must have
+    their events served this pass, in order, not postponed."""
+    env = Environment()
+    seen = []
+
+    def chain(env, depth):
+        seen.append(env.now)
+        if depth:
+            yield env.timeout(0.0001)
+            yield from chain(env, depth - 1)
+
+    env.process(chain(env, 50))
+    env.run()
+    assert len(seen) == 51
+    assert seen == sorted(seen)
+
+
+def test_peek_step_run_all_agree_with_heap():
+    entries = [(d, NORMAL, i)
+               for i, d in enumerate([3.0, 1.0, 2.0, 1.0, 0.0])]
+    times = {}
+    for scheduler in ("heap", "calendar"):
+        env = Environment(scheduler=scheduler)
+        _schedule_tagged(env, entries)
+        peeked = []
+        while env.peek() != float("inf"):
+            peeked.append(env.peek())
+            env.step()
+        times[scheduler] = peeked
+    assert times["calendar"] == times["heap"] == [0.0, 1.0, 1.0, 2.0, 3.0]
+
+
+def test_bootstrap_and_drained_queue_reset():
+    """A fresh environment (and a fully drained one) must route pushes
+    through the unanchored bootstrap without stale windows."""
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(5.0)
+    env.run_all()
+    assert env.now == 5.0
+    # Drained: the next push must not index a stale bucket window.
+    env.timeout(0.5)
+    env.run_all()
+    assert env.now == 5.5
+    assert env.stats()["queue_depth"] == 0
+
+
+def test_queue_depth_counts_run_buckets_and_overflow():
+    env = Environment()
+    for delay in (0.1, 1.0, 10.0, 1000.0):
+        env.timeout(delay)
+    assert env.stats()["queue_depth"] == 4
+    env.step()
+    assert env.stats()["queue_depth"] == 3
+
+
+def test_dispatch_parts_roundtrip():
+    from repro.sim.environment import _PRIORITY_SHIFT
+    assert dispatch_parts((URGENT << _PRIORITY_SHIFT) | 7) == (URGENT, 7)
+    assert dispatch_parts((NORMAL << _PRIORITY_SHIFT) | 42) == (NORMAL, 42)
+
+
+def test_scheduler_selection_and_default():
+    assert Environment().scheduler == "calendar"
+    assert Environment(scheduler="heap").scheduler == "heap"
+    with use_scheduler("heap"):
+        assert Environment().scheduler == "heap"
+    assert Environment().scheduler == "calendar"
+    with pytest.raises(SimulationError):
+        Environment(scheduler="splay")
+    with pytest.raises(SimulationError):
+        set_default_scheduler("splay")
+
+
+def test_counters_identical_across_schedulers():
+    def drive(scheduler):
+        with use_scheduler(scheduler):
+            env = Environment()
+
+            def worker(env):
+                for _ in range(20):
+                    yield env.timeout(0.01)
+
+            for _ in range(5):
+                env.process(worker(env))
+            env.run(until=0.15)
+            return env.stats()
+
+    assert drive("calendar") == drive("heap")
+
+
+def test_far_future_and_huge_times_do_not_break_order():
+    """Times near the float ceiling park in the overflow and still
+    drain in order (the index arithmetic must not overflow)."""
+    env = Environment()
+    fired = _schedule_tagged(
+        env, [(1e300, NORMAL, "far"), (1.0, NORMAL, "near"),
+              (1e305, NORMAL, "farther")])
+    env.run_all(limit=float("inf"))
+    assert [tag for _, tag in fired] == ["near", "far", "farther"]

@@ -1,9 +1,12 @@
 """The environment's window-boundary hook (timeline substrate)."""
 
+import random
+
 import pytest
 
 from repro.errors import SimulationError
 from repro.sim import Environment
+from repro.sim.events import NORMAL, URGENT
 
 
 def ticker(env, period, count, log=None):
@@ -107,3 +110,103 @@ def test_nonpositive_interval_rejected():
         env.set_window_hook(0.0, lambda b: None)
     with pytest.raises(SimulationError):
         env.set_window_hook(-1.0, lambda b: None)
+
+
+# -- exactly-once under the calendar queue (PR 10) ------------------------
+#
+# The calendar run loop fires the hook from two inlined drain variants
+# and after bucket promotes; each boundary must still fire exactly once,
+# in order, on both schedulers, whatever the schedule's shape.
+
+def _boundaries(scheduler, build, interval=1.0, until=None):
+    env = Environment(scheduler=scheduler)
+    fired = []
+    env.set_window_hook(interval, fired.append)
+    build(env)
+    env.run(until=until)
+    return fired
+
+
+def _assert_exactly_once(fired):
+    assert fired == sorted(fired)
+    assert len(fired) == len(set(fired)), "a boundary fired twice"
+
+
+@pytest.mark.parametrize("scheduler", ["calendar", "heap"])
+def test_exactly_once_over_quiet_gaps(scheduler):
+    """Sparse schedules with long quiet gaps: every crossed boundary
+    fires once when the clock jumps, none are skipped or repeated."""
+    def build(env):
+        def proc(env):
+            yield env.timeout(0.3)
+            yield env.timeout(4.0)   # crosses 1.0 .. 4.0
+            yield env.timeout(0.1)
+            yield env.timeout(10.0)  # crosses 5.0 .. 14.0
+        env.process(proc(env))
+
+    fired = _boundaries(scheduler, build)
+    _assert_exactly_once(fired)
+    assert fired == [float(k) for k in range(1, 15)]
+
+
+@pytest.mark.parametrize("scheduler", ["calendar", "heap"])
+def test_exactly_once_through_dense_same_time_bursts(scheduler):
+    """Thousands of events at the boundary instant: the hook fires once
+    before the first of them, never between or after."""
+    env = Environment(scheduler=scheduler)
+    fired = []
+    order = []
+    env.set_window_hook(1.0, lambda b: (fired.append(b),
+                                        order.append(("hook", b))))
+
+    def burst(env):
+        yield env.timeout(1.0)
+        order.append(("event", env.now))
+
+    for _ in range(3000):
+        env.process(burst(env))
+    env.run()
+    _assert_exactly_once(fired)
+    assert fired == [1.0]
+    # The single firing precedes every same-instant event callback.
+    assert order[0] == ("hook", 1.0)
+    assert all(kind == "event" for kind, _ in order[1:])
+
+
+@pytest.mark.parametrize("scheduler", ["calendar", "heap"])
+def test_exactly_once_in_until_terminated_runs(scheduler):
+    """run(until=...) must not fire boundaries beyond the cut, and a
+    resumed run picks up with no boundary lost or repeated."""
+    env = Environment(scheduler=scheduler)
+    fired = []
+    env.set_window_hook(1.0, fired.append)
+    env.process(ticker(env, 0.3, 30))
+    env.run(until=3.5)
+    assert fired == [1.0, 2.0, 3.0]
+    env.run(until=7.5)
+    _assert_exactly_once(fired)
+    assert fired == [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]
+
+
+@pytest.mark.parametrize("seed", [0, 5, 23])
+def test_exactly_once_on_random_schedules_matches_heap(seed):
+    """Property: for arbitrary priority/delay mixes the boundary log is
+    identical between schedulers, sorted, and duplicate-free."""
+    rng = random.Random(seed)
+    plan = [(rng.choice([0.0, rng.random(), rng.random() * 20.0]),
+             rng.choice([URGENT, NORMAL]))
+            for _ in range(400)]
+
+    logs = {}
+    for scheduler in ("calendar", "heap"):
+        env = Environment(scheduler=scheduler)
+        fired = []
+        env.set_window_hook(0.5, fired.append)
+        for delay, priority in plan:
+            event = env.event()
+            event._ok = True
+            env.schedule(event, priority=priority, delay=delay)
+        env.run_all(limit=float("inf"))
+        logs[scheduler] = fired
+    _assert_exactly_once(logs["calendar"])
+    assert logs["calendar"] == logs["heap"]
